@@ -1,0 +1,7 @@
+"""Ablation: nccl — mechanism probe beyond the paper's evaluation."""
+
+
+def test_ablation_nccl(run_and_print):
+    r = run_and_print("ablation_nccl")
+    for key, want in r.paper_claims.items():
+        assert r.measured[key] == want, (key, r.measured[key])

@@ -1,0 +1,7 @@
+"""Ablation: overlap — Horovod's communication/computation interleaving."""
+
+
+def test_ablation_overlap(run_and_print):
+    r = run_and_print("ablation_overlap")
+    for key, want in r.paper_claims.items():
+        assert r.measured[key] == want, (key, r.measured[key])

@@ -1,0 +1,6 @@
+"""Calibration anchors vs paper — regenerates the paper's rows/series."""
+
+
+def test_calibration(run_and_print):
+    r = run_and_print("calibration")
+    assert all(row["ok"] for row in r.panels[""])

@@ -1,0 +1,7 @@
+"""Extension: parallel speedup/efficiency of the training phase."""
+
+
+def test_efficiency(run_and_print):
+    r = run_and_print("efficiency")
+    for key, want in r.paper_claims.items():
+        assert r.measured[key] == want, (key, r.measured[key])

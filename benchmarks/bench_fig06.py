@@ -1,0 +1,6 @@
+"""Figure 6: NT3 Summit strong scaling (times + accuracy) — regenerates the paper's rows/series."""
+
+
+def test_fig6(run_and_print):
+    r = run_and_print("fig6")
+    assert r.measured["accuracy at 8 epochs/GPU (48 GPUs, b20)"] > 0.9

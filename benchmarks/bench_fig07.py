@@ -1,0 +1,6 @@
+"""Figure 7: power trace + timeline on 384 GPUs — regenerates the paper's rows/series."""
+
+
+def test_fig7(run_and_print):
+    r = run_and_print("fig7")
+    assert r.measured["broadcast overhead s"] > 20

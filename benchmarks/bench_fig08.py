@@ -1,0 +1,6 @@
+"""Figure 8: P1B1 Summit strong scaling — regenerates the paper's rows/series."""
+
+
+def test_fig8(run_and_print):
+    r = run_and_print("fig8")
+    assert r.measured["loading dominates from N GPUs"] <= 48

@@ -1,0 +1,6 @@
+"""Figure 9: P1B2 Summit strong scaling — regenerates the paper's rows/series."""
+
+
+def test_fig9(run_and_print):
+    r = run_and_print("fig9")
+    assert r.measured["accuracy drops at >=96 GPUs"] == 1.0

@@ -1,0 +1,6 @@
+"""Figure 10: P1B3 batch-size scaling strategies — regenerates the paper's rows/series."""
+
+
+def test_fig10(run_and_print):
+    r = run_and_print("fig10")
+    assert r.measured["linear fails at 192/384 GPUs"] == 1.0

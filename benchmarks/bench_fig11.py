@@ -1,0 +1,6 @@
+"""Figure 11: NT3 Summit original vs optimized — regenerates the paper's rows/series."""
+
+
+def test_fig11(run_and_print):
+    r = run_and_print("fig11")
+    assert 60 < r.measured["max perf improvement %"] < 80

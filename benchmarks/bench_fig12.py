@@ -1,0 +1,6 @@
+"""Figure 12: broadcast overhead reduction (384 GPUs) — regenerates the paper's rows/series."""
+
+
+def test_fig12(run_and_print):
+    r = run_and_print("fig12")
+    assert r.measured["overhead improvement %"] > 70

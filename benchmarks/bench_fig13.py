@@ -1,0 +1,6 @@
+"""Figure 13: NT3 Theta improvement — regenerates the paper's rows/series."""
+
+
+def test_fig13(run_and_print):
+    r = run_and_print("fig13")
+    assert 30 < r.measured["max perf improvement %"] < 50

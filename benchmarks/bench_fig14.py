@@ -1,0 +1,6 @@
+"""Figure 14: P1B1 Summit improvement — regenerates the paper's rows/series."""
+
+
+def test_fig14(run_and_print):
+    r = run_and_print("fig14")
+    assert 70 < r.measured["max perf improvement %"] < 85

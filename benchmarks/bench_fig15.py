@@ -1,0 +1,6 @@
+"""Figure 15: P1B1 Theta improvement — regenerates the paper's rows/series."""
+
+
+def test_fig15(run_and_print):
+    r = run_and_print("fig15")
+    assert 35 < r.measured["max perf improvement %"] < 55

@@ -1,0 +1,6 @@
+"""Figure 16: P1B2 Summit improvement — regenerates the paper's rows/series."""
+
+
+def test_fig16(run_and_print):
+    r = run_and_print("fig16")
+    assert 50 < r.measured["max perf improvement %"] < 72

@@ -1,0 +1,6 @@
+"""Figure 17: P1B2 Theta improvement — regenerates the paper's rows/series."""
+
+
+def test_fig17(run_and_print):
+    r = run_and_print("fig17")
+    assert 38 < r.measured["max perf improvement %"] < 58

@@ -1,0 +1,6 @@
+"""Figure 18: NT3 weak scaling to 3,072 GPUs — regenerates the paper's rows/series."""
+
+
+def test_fig18(run_and_print):
+    r = run_and_print("fig18")
+    assert 30 < r.measured["min perf improvement %"] < 50

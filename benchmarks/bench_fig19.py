@@ -1,0 +1,6 @@
+"""Figure 19: weak-scaling broadcast overhead (768 GPUs) — regenerates the paper's rows/series."""
+
+
+def test_fig19(run_and_print):
+    r = run_and_print("fig19")
+    assert r.measured["overhead improvement %"] > 70

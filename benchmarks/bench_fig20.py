@@ -1,0 +1,6 @@
+"""Figure 20: P1B1 weak scaling — regenerates the paper's rows/series."""
+
+
+def test_fig20(run_and_print):
+    r = run_and_print("fig20")
+    assert 60 < r.measured["min perf improvement %"] < 80

@@ -1,0 +1,6 @@
+"""Figure 21: P1B2 weak scaling — regenerates the paper's rows/series."""
+
+
+def test_fig21(run_and_print):
+    r = run_and_print("fig21")
+    assert 35 < r.measured["min perf improvement %"] < 60

@@ -1,0 +1,46 @@
+"""Microbenchmark: the two CSV engines on a wide-row file.
+
+Unlike the table3/table4 benches (which regenerate the paper's numbers
+from the calibrated model), this bench *measures* the real parsing
+engines in repro.frame on a generated NT3-shaped file and asserts the
+paper's qualitative result: the chunked low_memory=False engine beats
+the low_memory=True engine by a solid factor on wide rows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.candle import get_benchmark
+from repro.core.dataloading import load_csv_timed
+
+
+@pytest.fixture(scope="module")
+def wide_csv(tmp_path_factory):
+    bench = get_benchmark("nt3", scale=0.12, sample_scale=0.04)
+    tmp = tmp_path_factory.mktemp("widecsv")
+    train, _ = bench.write_files(tmp, rng=np.random.default_rng(0))
+    return train
+
+
+def test_original_engine(benchmark, wide_csv):
+    df, _ = benchmark.pedantic(
+        load_csv_timed, args=(wide_csv, "original"), rounds=3, iterations=1
+    )
+    assert df.shape[0] > 0
+
+
+def test_chunked_engine(benchmark, wide_csv):
+    df, _ = benchmark.pedantic(
+        load_csv_timed, args=(wide_csv, "chunked"), rounds=3, iterations=1
+    )
+    assert df.shape[0] > 0
+
+
+def test_wide_row_speedup_is_real(benchmark, wide_csv):
+    def compare():
+        _, t_orig = load_csv_timed(wide_csv, method="original")
+        _, t_fast = load_csv_timed(wide_csv, method="chunked")
+        return t_orig / t_fast
+
+    speedup = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert speedup > 2.0, f"speedup only {speedup:.2f}x"

@@ -1,0 +1,7 @@
+"""Extension: gradient noise scale vs the paper's batch-size decisions."""
+
+
+def test_noise_scale(run_and_print):
+    r = run_and_print("noise_scale")
+    for key, want in r.paper_claims.items():
+        assert r.measured[key] == want, (key, r.measured[key])

@@ -1,0 +1,6 @@
+"""Section 5.4: P1B3 gains little — regenerates the paper's rows/series."""
+
+
+def test_p1b3_opt(run_and_print):
+    r = run_and_print("p1b3_opt")
+    assert r.measured["improvement small (< 7%)"] == 1.0

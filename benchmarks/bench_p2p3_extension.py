@@ -1,0 +1,7 @@
+"""Extension: P2/P3 benchmarks through the same parallel methodology."""
+
+
+def test_p2p3_extension(run_and_print):
+    r = run_and_print("p2p3_extension")
+    for key, want in r.paper_claims.items():
+        assert r.measured[key] == want, (key, r.measured[key])

@@ -1,0 +1,7 @@
+"""Baseline: parameter server vs Horovod ring allreduce."""
+
+
+def test_ps_baseline(run_and_print):
+    r = run_and_print("ps_baseline")
+    for key, want in r.paper_claims.items():
+        assert r.measured[key] == want, (key, r.measured[key])

@@ -1,0 +1,6 @@
+"""Table 1: benchmark characteristics — regenerates the paper's rows/series."""
+
+
+def test_table1(run_and_print):
+    r = run_and_print("table1")
+    assert r.measured["NT3 steps/epoch"] == 56

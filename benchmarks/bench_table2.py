@@ -1,0 +1,7 @@
+"""Table 2: NT3 time/epoch and GPU power — regenerates the paper's rows/series."""
+
+
+def test_table2(run_and_print):
+    r = run_and_print("table2")
+    assert abs(r.measured["time/epoch 1 GPU (s)"] - 10.3) < 1.5
+    assert r.measured["batch 50 OOM"] == 1.0

@@ -1,0 +1,6 @@
+"""Table 3: data loading by method, Summit — regenerates the paper's rows/series."""
+
+
+def test_table3(run_and_print):
+    r = run_and_print("table3")
+    assert 4 < r.measured["NT3 speedup"] < 8

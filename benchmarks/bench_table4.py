@@ -1,0 +1,6 @@
+"""Table 4: data loading by method, Theta — regenerates the paper's rows/series."""
+
+
+def test_table4(run_and_print):
+    r = run_and_print("table4")
+    assert 3 < r.measured["NT3 speedup"] < 6

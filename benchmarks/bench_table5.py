@@ -1,0 +1,6 @@
+"""Table 5: NT3 power and energy — regenerates the paper's rows/series."""
+
+
+def test_table5(run_and_print):
+    r = run_and_print("table5")
+    assert r.measured["max power increase %"] > 40

@@ -1,0 +1,6 @@
+"""Table 6: NT3 weak scaling accuracy/power — regenerates the paper's rows/series."""
+
+
+def test_table6(run_and_print):
+    r = run_and_print("table6")
+    assert r.measured["accuracy ~1.0 at 8 epochs/GPU"] > 0.9

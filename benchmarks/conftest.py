@@ -1,0 +1,33 @@
+"""Benchmark harness configuration.
+
+Every bench regenerates one paper table/figure via
+``repro.experiments.run_experiment`` and prints the rows the paper
+reports, so ``pytest benchmarks/ --benchmark-only`` is the full
+reproduction run. Heavy experiments (real training) run one round.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture
+def run_and_print(benchmark, capsys):
+    """Benchmark one experiment (single round) and print its tables."""
+
+    def runner(experiment_id: str, fast: bool = True, **kwargs):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"fast": fast, **kwargs},
+            rounds=1,
+            iterations=1,
+        )
+        with capsys.disabled():
+            print()
+            print(result.render())
+        return result
+
+    return runner

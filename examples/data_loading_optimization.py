@@ -1,0 +1,56 @@
+"""The paper's §5 data-loading fix, demonstrated twice.
+
+1. *Functionally*: generate a real wide-row CSV (NT3-shaped) and a real
+   narrow-row CSV (P1B3-shaped) and time the original
+   (``low_memory=True``), optimized (chunked ``low_memory=False``), and
+   Dask-like loaders from :mod:`repro.frame`. The wide file speeds up
+   severalfold; the narrow one barely moves — Table 3's shape at laptop
+   scale, produced by the real parsing engines.
+2. *At paper scale*: print the calibrated model's Tables 3 and 4.
+
+Run:  python examples/data_loading_optimization.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.candle import get_benchmark
+from repro.core import load_csv_timed
+from repro.experiments import run_experiment
+
+
+def functional_demo() -> None:
+    print("=== functional demo: real files, real parsers ===")
+    rows = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for name, scale, sample_scale in (("nt3", 0.08, 0.03), ("p1b3", 0.05, 0.03)):
+            bench = get_benchmark(name, scale=scale, sample_scale=sample_scale)
+            train, _ = bench.write_files(tmp, rng=np.random.default_rng(0))
+            timing = {}
+            for method in ("original", "chunked", "dask"):
+                _, timing[method] = load_csv_timed(train, method=method)
+            rows.append(
+                {
+                    "file": f"{bench.spec.name} ({bench.features} cols x {bench.train_samples} rows)",
+                    "original_s": round(timing["original"], 3),
+                    "chunked_s": round(timing["chunked"], 3),
+                    "dask_s": round(timing["dask"], 3),
+                    "speedup": round(timing["original"] / timing["chunked"], 2),
+                }
+            )
+    print(format_table(rows))
+    print()
+
+
+def paper_scale_tables() -> None:
+    print("=== paper-scale model: Tables 3 and 4 ===")
+    for eid in ("table3", "table4"):
+        print(run_experiment(eid, fast=True).render())
+        print()
+
+
+if __name__ == "__main__":
+    functional_demo()
+    paper_scale_tables()

@@ -1,0 +1,86 @@
+"""Render the paper's key figures as ASCII charts in the terminal.
+
+Draws Fig 6a (NT3 strong scaling, log-x), Fig 7a (the 384-GPU power
+trace), Fig 11 (original vs optimized total time), and Fig 18a (weak
+scaling) from the calibrated simulator — shape-faithful, zero
+matplotlib.
+
+Run:  python examples/render_figures.py
+"""
+
+from repro.analysis import bar_chart, line_chart, power_strip
+from repro.candle.nt3 import NT3_SPEC
+from repro.cluster import PowerMeter
+from repro.cluster.machine import SUMMIT
+from repro.core import strong_scaling_plan, weak_scaling_plan
+from repro.sim import ScaledRunSimulator
+
+
+def fig6a(sim) -> None:
+    counts = [1, 6, 12, 24, 48, 96, 192, 384]
+    tf, load, total = [], [], []
+    for n in counts:
+        r = sim.run(NT3_SPEC, strong_scaling_plan(NT3_SPEC, n), keep_profiles=False)
+        tf.append(r.train_s)
+        load.append(r.load_s)
+        total.append(r.total_s)
+    print(
+        line_chart(
+            counts,
+            {"TensorFlow": tf, "Data Loading": load, "Total": total},
+            log_x=True,
+            title="Fig 6a — NT3 on Summit, strong scaling (seconds vs GPUs)",
+        )
+    )
+
+
+def fig7a(sim) -> None:
+    r = sim.run(NT3_SPEC, strong_scaling_plan(NT3_SPEC, 384))
+    rank = max(r.profiles)  # the slowest loader
+    samples = PowerMeter(SUMMIT.power_sample_hz).sample(r.profiles[rank])
+    print(
+        power_strip(
+            [s.time_s for s in samples],
+            [s.power_w for s in samples],
+            title="Fig 7a — GPU power over time, 384 GPUs (load | idle | train)",
+        )
+    )
+
+
+def fig11(sim) -> None:
+    labels, values = [], []
+    for n in (24, 96, 384):
+        plan = strong_scaling_plan(NT3_SPEC, n)
+        orig = sim.run(NT3_SPEC, plan, method="original", keep_profiles=False)
+        opt = sim.run(NT3_SPEC, plan, method="chunked", keep_profiles=False)
+        labels += [f"{n} GPUs orig", f"{n} GPUs opt"]
+        values += [orig.total_s, opt.total_s]
+    print(bar_chart(labels, values, title="Fig 11 — NT3 total seconds, original vs optimized", unit="s"))
+
+
+def fig18a(sim) -> None:
+    counts = [6, 48, 384, 768, 1536, 3072]
+    orig, opt = [], []
+    for n in counts:
+        plan = weak_scaling_plan(NT3_SPEC, n)
+        orig.append(sim.run(NT3_SPEC, plan, method="original", keep_profiles=False).total_s)
+        opt.append(sim.run(NT3_SPEC, plan, method="chunked", keep_profiles=False).total_s)
+    print(
+        line_chart(
+            counts,
+            {"original": orig, "optimized": opt},
+            log_x=True,
+            title="Fig 18a — NT3 weak scaling on Summit (total seconds vs GPUs)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    sim = ScaledRunSimulator("summit")
+    fig6a(sim)
+    print()
+    fig7a(sim)
+    print()
+    fig11(sim)
+    print()
+    fig18a(sim)

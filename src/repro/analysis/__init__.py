@@ -1,0 +1,38 @@
+"""repro.analysis — profiling, energy accounting, timeline analysis, reports.
+
+The measurement toolkit the paper's evaluation uses:
+
+- :mod:`repro.analysis.profiling` — phase timers and a cProfile wrapper
+  (the paper profiles with Python's cProfile, §4).
+- :mod:`repro.analysis.timeline_analysis` — extracts broadcast/allreduce
+  overheads from Horovod timelines (Figs 7b, 12, 19).
+- :mod:`repro.analysis.energy` — power-trace statistics and
+  original-vs-optimized improvement accounting (Tables 5-6, Figs 11-21).
+- :mod:`repro.analysis.report` — fixed-width table rendering for the
+  experiment harnesses.
+"""
+
+from repro.analysis.energy import EnergyComparison, compare_runs
+from repro.analysis.profiling import PhaseProfiler, profile_callable
+from repro.analysis.plotting import bar_chart, line_chart, power_strip
+from repro.analysis.report import format_series, format_table
+from repro.analysis.timeline_analysis import (
+    allreduce_total_seconds,
+    broadcast_overhead_seconds,
+    communication_summary,
+)
+
+__all__ = [
+    "PhaseProfiler",
+    "profile_callable",
+    "broadcast_overhead_seconds",
+    "allreduce_total_seconds",
+    "communication_summary",
+    "EnergyComparison",
+    "compare_runs",
+    "format_table",
+    "format_series",
+    "line_chart",
+    "bar_chart",
+    "power_strip",
+]

@@ -1,0 +1,109 @@
+"""Gradient noise scale (McCandlish et al., the paper's ref [20]).
+
+The paper cites "An Empirical Model of Large-Batch Training" when
+motivating its batch-size scaling strategies (Fig 4b): the *gradient
+noise scale* B_noise predicts how large a batch can grow before extra
+samples stop buying optimization progress. This module implements the
+two-batch estimator from that work:
+
+with G_B the gradient at batch size B,
+
+    E[|G_B|^2] = |G|^2 + tr(Sigma) / B
+
+so measuring |G_B|^2 at a small and a large batch gives unbiased
+estimates of the true-gradient norm and the noise trace:
+
+    |G|^2      = (B_big |G_big|^2 - B_small |G_small|^2) / (B_big - B_small)
+    tr(Sigma)  = (|G_small|^2 - |G_big|^2) / (1/B_small - 1/B_big)
+    B_noise    = tr(Sigma) / |G|^2
+
+A batch far below B_noise wastes wall-clock on serial steps (scale it
+up — P1B3's situation); a batch far above it wastes samples (NT3's
+batch-40 accuracy hit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NoiseScaleEstimate", "estimate_noise_scale"]
+
+
+@dataclass(frozen=True)
+class NoiseScaleEstimate:
+    """The estimator's outputs (averaged over draws)."""
+
+    grad_norm_sq: float
+    noise_trace: float
+    b_small: int
+    b_big: int
+    draws: int
+
+    @property
+    def b_noise(self) -> float:
+        """The critical batch size tr(Sigma)/|G|^2 (inf if |G|^2 <= 0)."""
+        if self.grad_norm_sq <= 0:
+            return float("inf")
+        return max(0.0, self.noise_trace) / self.grad_norm_sq
+
+    def verdict(self, batch_size: int) -> str:
+        """Qualitative read of a batch size against B_noise."""
+        b = self.b_noise
+        if batch_size < 0.1 * b:
+            return "far below B_noise: batch can scale up cheaply"
+        if batch_size > 10 * b:
+            return "far above B_noise: extra samples are wasted"
+        return "near B_noise: the efficient regime"
+
+
+def _grad_norm_sq(model, x: np.ndarray, y: np.ndarray) -> float:
+    y_pred = model._forward(x, training=False)
+    model._backward(y, y_pred)
+    return float(
+        sum(np.sum(g * g) for g in model.named_gradients().values())
+    )
+
+
+def estimate_noise_scale(
+    model,
+    x: np.ndarray,
+    y: np.ndarray,
+    b_small: int,
+    b_big: int,
+    draws: int = 8,
+    rng: np.random.Generator | None = None,
+) -> NoiseScaleEstimate:
+    """Estimate B_noise for a compiled model on ``(x, y)``.
+
+    Draws ``draws`` independent batches at each size, averages the
+    squared gradient norms, and applies the two-batch estimator. The
+    model's weights are not modified.
+    """
+    if not 0 < b_small < b_big:
+        raise ValueError(f"need 0 < b_small < b_big, got {b_small}, {b_big}")
+    if b_big > len(x):
+        raise ValueError(f"b_big {b_big} exceeds dataset size {len(x)}")
+    if draws < 1:
+        raise ValueError(f"draws must be positive, got {draws}")
+    model._require_compiled()
+    rng = rng or np.random.default_rng(0)
+
+    norms = {b_small: [], b_big: []}
+    for b in (b_small, b_big):
+        for _ in range(draws):
+            idx = rng.choice(len(x), size=b, replace=False)
+            norms[b].append(_grad_norm_sq(model, x[idx], y[idx]))
+    g_small = float(np.mean(norms[b_small]))
+    g_big = float(np.mean(norms[b_big]))
+
+    grad_norm_sq = (b_big * g_big - b_small * g_small) / (b_big - b_small)
+    noise_trace = (g_small - g_big) / (1.0 / b_small - 1.0 / b_big)
+    return NoiseScaleEstimate(
+        grad_norm_sq=grad_norm_sq,
+        noise_trace=noise_trace,
+        b_small=b_small,
+        b_big=b_big,
+        draws=draws,
+    )

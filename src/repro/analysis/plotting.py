@@ -1,0 +1,131 @@
+"""Terminal plotting: render the paper's figures as ASCII charts.
+
+The experiment harness prints tables; these helpers render the same
+series as charts so an example's output *looks* like the figure it
+reproduces — a log-x multi-series line chart for the scaling figures, a
+horizontal bar chart for comparisons, and a time-series strip for the
+power traces of Fig 7a.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional, Sequence
+
+__all__ = ["line_chart", "bar_chart", "power_strip"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(value, lo, hi, width):
+    if hi == lo:
+        return 0
+    return int(round((value - lo) / (hi - lo) * (width - 1)))
+
+
+def line_chart(
+    x: Sequence[float],
+    ys: Mapping[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = False,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Multi-series scatter/line chart on a character grid.
+
+    ``log_x=True`` spaces the x axis logarithmically — the paper's
+    scaling figures all use log-2 GPU-count axes.
+    """
+    if not x:
+        raise ValueError("empty x axis")
+    for name, y in ys.items():
+        if len(y) != len(x):
+            raise ValueError(f"series {name!r} length != x length")
+    xs = [math.log2(v) for v in x] if log_x else list(map(float, x))
+    all_y = [v for y in ys.values() for v in y if v is not None]
+    if not all_y:
+        raise ValueError("no y values")
+    lo_x, hi_x = min(xs), max(xs)
+    lo_y, hi_y = min(all_y), max(all_y)
+    if hi_y == lo_y:
+        hi_y = lo_y + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, y) in enumerate(ys.items()):
+        marker = _MARKERS[si % len(_MARKERS)]
+        for xv, yv in zip(xs, y):
+            if yv is None:
+                continue
+            col = _scale(xv, lo_x, hi_x, width)
+            row = height - 1 - _scale(yv, lo_y, hi_y, height)
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{hi_y:.6g}"
+    bottom_label = f"{lo_y:.6g}"
+    pad = max(len(top_label), len(bottom_label), len(y_label))
+    for i, row in enumerate(grid):
+        label = top_label if i == 0 else bottom_label if i == height - 1 else ""
+        lines.append(f"{label:>{pad}} |" + "".join(row))
+    lines.append(" " * pad + " +" + "-" * width)
+    x_lo = f"{x[0]:g}"
+    x_hi = f"{x[-1]:g}"
+    lines.append(
+        " " * pad + "  " + x_lo + " " * max(1, width - len(x_lo) - len(x_hi)) + x_hi
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(ys)
+    )
+    lines.append(" " * pad + "  " + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 48,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bars, scaled to the max value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not values:
+        raise ValueError("empty chart")
+    peak = max(values)
+    if peak <= 0:
+        raise ValueError("bar chart needs a positive maximum")
+    label_w = max(len(str(l)) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1 if value > 0 else 0, int(round(value / peak * width)))
+        lines.append(f"{str(label):>{label_w}} |{bar} {value:.6g}{unit}")
+    return "\n".join(lines)
+
+
+def power_strip(
+    times: Sequence[float],
+    watts: Sequence[float],
+    width: int = 72,
+    levels: str = ".,:-=+*#%@",
+    title: str = "",
+) -> str:
+    """One-line density strip of a power trace (Fig 7a at a glance)."""
+    if len(times) != len(watts):
+        raise ValueError("times and watts must have equal length")
+    if not watts:
+        raise ValueError("empty trace")
+    lo, hi = min(watts), max(watts)
+    span = (hi - lo) or 1.0
+    # resample to `width` buckets by nearest sample
+    out = []
+    n = len(watts)
+    for i in range(width):
+        j = min(n - 1, int(i / width * n))
+        level = int((watts[j] - lo) / span * (len(levels) - 1))
+        out.append(levels[level])
+    header = f"{title}  [{lo:.0f}W..{hi:.0f}W over {times[-1] - times[0]:.0f}s]"
+    return header + "\n" + "".join(out)

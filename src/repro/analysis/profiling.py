@@ -1,0 +1,75 @@
+"""Phase profiling (the paper uses cProfile + phase timing, §4).
+
+:class:`PhaseProfiler` times named phases with a context manager —
+exactly the data-loading / training / evaluation decomposition the
+paper's Figure 2 defines. :func:`profile_callable` wraps cProfile and
+returns the top hot spots, which is how the paper identified
+``pandas.read_csv`` as the bottleneck in the first place.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+__all__ = ["PhaseProfiler", "profile_callable"]
+
+
+class PhaseProfiler:
+    """Accumulates wall-clock time per named phase."""
+
+    def __init__(self):
+        self.seconds: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a phase; re-entering the same name accumulates."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - t0
+            self.seconds[name] = self.seconds.get(name, 0.0) + dt
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def fraction(self, name: str) -> float:
+        """Share of total time spent in ``name`` (0 if unseen)."""
+        total = self.total()
+        if total == 0.0:
+            return 0.0
+        return self.seconds.get(name, 0.0) / total
+
+    def dominant_phase(self) -> str:
+        """The phase with the most accumulated time.
+
+        The paper's core diagnosis — "data loading dominates the total
+        runtime on 48 GPUs or more" — is this query.
+        """
+        if not self.seconds:
+            raise ValueError("no phases recorded")
+        return max(self.seconds, key=self.seconds.get)
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.seconds)
+
+
+def profile_callable(fn: Callable, *args, top: int = 10, **kwargs):
+    """Run ``fn`` under cProfile; returns (result, top-functions text)."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats("cumulative").print_stats(top)
+    return result, buf.getvalue()

@@ -1,0 +1,55 @@
+"""Timeline analysis: the broadcast/allreduce overheads of Figs 7b/12/19.
+
+The paper reads its headline broadcast-overhead numbers (43.72 s →
+4.65 s on 384 GPUs; 37.65 s → 5.3 s on 768) off Horovod Chrome traces.
+These helpers compute the same quantities from a
+:class:`repro.hvd.timeline.Timeline`, whether it came from a functional
+run or from the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.hvd.timeline import ALLREDUCE_EVENTS, BROADCAST_EVENTS, Timeline
+
+__all__ = [
+    "broadcast_overhead_seconds",
+    "allreduce_total_seconds",
+    "communication_summary",
+]
+
+
+def broadcast_overhead_seconds(timeline: Timeline) -> float:
+    """Wall-clock span of the initial broadcast (negotiate → done).
+
+    Measured as the paper does: from the first rank entering
+    negotiate_broadcast to the last rank finishing the broadcast data
+    movement. Dominated by data-loading skew in the original runs.
+    """
+    events = timeline.events_named(*BROADCAST_EVENTS)
+    if not events:
+        return 0.0
+    start = min(e.start_s for e in events)
+    end = max(e.end_s for e in events)
+    return end - start
+
+
+def allreduce_total_seconds(timeline: Timeline, rank: int = 0) -> float:
+    """Total time one rank spent inside allreduce data movement."""
+    events = [
+        e
+        for e in timeline.events_named("nccl_allreduce")
+        if e.rank == rank
+    ]
+    return sum(e.duration_s for e in events)
+
+
+def communication_summary(timeline: Timeline) -> Dict[str, float]:
+    """Per-event-type total seconds and counts across all ranks."""
+    out: Dict[str, float] = {}
+    for e in timeline.events:
+        if e.name in BROADCAST_EVENTS or e.name in ALLREDUCE_EVENTS:
+            out[f"{e.name}_s"] = out.get(f"{e.name}_s", 0.0) + e.duration_s
+            out[f"{e.name}_n"] = out.get(f"{e.name}_n", 0) + 1
+    return out

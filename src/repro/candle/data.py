@@ -1,0 +1,166 @@
+"""Synthetic data generators for the four benchmarks.
+
+We cannot ship NCI Genomic Data Commons / NCI60 data, so each generator
+produces arrays with the paper's geometry and a *controllable learnable
+signal* so real training shows the paper's accuracy dynamics (accuracy
+rises with epochs; too-large batches hurt; etc.):
+
+- gene-expression-like features: non-negative, log-normal-ish
+  (FPKM-UQ values are heavy-tailed);
+- class structure: a small subset of informative features whose means
+  shift per class (differential expression), the rest noise;
+- SNP-like features (P1B2): sparse small integers;
+- drug-response (P1B3): continuous growth from a nonlinear function of
+  expression summary x dose.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "expression_classification",
+    "expression_profiles",
+    "snp_classification",
+    "drug_response",
+    "one_hot",
+]
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Dense one-hot encoding of integer labels."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.min() < 0 or labels.max() >= num_classes:
+        raise ValueError(
+            f"labels outside [0, {num_classes}): {labels.min()}..{labels.max()}"
+        )
+    return np.eye(num_classes, dtype=np.float64)[labels]
+
+
+def _expression_noise(rng: np.random.Generator, n: int, features: int) -> np.ndarray:
+    """Heavy-tailed non-negative expression-like background."""
+    return rng.lognormal(mean=0.0, sigma=0.6, size=(n, features))
+
+
+def expression_classification(
+    rng: np.random.Generator,
+    n: int,
+    features: int,
+    num_classes: int = 2,
+    informative_frac: float = 0.15,
+    separation: float = 1.5,
+    block_size: int = 32,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Balanced multi-class RNA-seq-like data (NT3: normal vs tumor).
+
+    Differential expression is *regional*: informative features come in
+    contiguous blocks whose log-mean shifts by ±``separation`` per
+    class, mimicking co-regulated gene neighbourhoods. Regional (rather
+    than scattered) signal is what NT3's convolution+pooling front end
+    can actually detect — scattered per-feature shifts would be invisible
+    after max pooling. Returns ``(x, labels)`` with x max-scaled to
+    [0, ~1] (the CANDLE preprocessing step).
+    """
+    if num_classes < 2:
+        raise ValueError(f"need >= 2 classes, got {num_classes}")
+    labels = np.arange(n) % num_classes
+    rng.shuffle(labels)
+    x = _expression_noise(rng, n, features)
+    block = min(block_size, max(4, features // 16))
+    n_blocks = max(num_classes, int(features * informative_frac) // block)
+    starts = rng.choice(max(1, features - block), size=n_blocks, replace=False)
+    # per (class, block) log-shift in {-separation, +separation}; the
+    # pattern is a deterministic rotation so every block discriminates
+    # every pair of classes (random signs can coincide across classes)
+    signs = np.where(
+        (np.arange(n_blocks)[None, :] + np.arange(num_classes)[:, None]) % num_classes
+        == 0,
+        1.0,
+        -1.0,
+    )
+    for j, s in enumerate(starts):
+        x[:, s : s + block] *= np.exp(separation * signs[labels, j])[:, None]
+    # robust max-scaling: real FPKM-UQ preprocessing divides by a stable
+    # scale; a raw lognormal max is an outlier that would squash the
+    # dynamic range, so scale by the 99th percentile and clip
+    x /= np.quantile(x, 0.99)
+    np.clip(x, 0.0, 2.0, out=x)
+    return x, labels
+
+
+def expression_profiles(
+    rng: np.random.Generator,
+    n: int,
+    features: int,
+    latent_dim: int = 8,
+) -> np.ndarray:
+    """Low-rank expression profiles for the P1B1 autoencoder.
+
+    The autoencoder exists to compress profiles "into a low-dimensional
+    vector without much loss of information", so the data must actually
+    *have* low intrinsic dimension: x = softplus(Z @ W) with a small
+    latent dimension, plus noise, max-scaled.
+    """
+    z = rng.normal(size=(n, latent_dim))
+    w = rng.normal(size=(latent_dim, features)) / np.sqrt(latent_dim)
+    x = np.log1p(np.exp(z @ w)) + 0.05 * rng.random((n, features))
+    return x / x.max()
+
+
+def snp_classification(
+    rng: np.random.Generator,
+    n: int,
+    features: int,
+    num_classes: int = 10,
+    density: float = 0.05,
+    separation: float = 3.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sparse somatic-SNP-like data with cancer-type labels (P1B2).
+
+    Features are 0/1/2 allele counts, mostly zero; each class elevates
+    the mutation probability of its own marker subset.
+    """
+    labels = np.arange(n) % num_classes
+    rng.shuffle(labels)
+    base_p = np.full(features, density)
+    markers_per_class = max(2, features // (num_classes * 4))
+    x = np.zeros((n, features))
+    marker_sets = [
+        rng.choice(features, size=markers_per_class, replace=False)
+        for _ in range(num_classes)
+    ]
+    for c in range(num_classes):
+        rows = labels == c
+        p = base_p.copy()
+        p[marker_sets[c]] = np.minimum(1.0, density * separation * 4)
+        x[rows] = (rng.random((rows.sum(), features)) < p).astype(float)
+        x[rows] += (rng.random((rows.sum(), features)) < p / 3).astype(float)
+    return x, labels
+
+
+def drug_response(
+    rng: np.random.Generator,
+    n: int,
+    features: int,
+    noise: float = 0.1,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Drug-screening rows for P1B3: features → growth percentage.
+
+    Each row concatenates cell-line expression summary features and drug
+    descriptor features plus a log-dose column; growth is a smooth
+    nonlinear dose-response surface with noise. Returns ``(x, growth)``
+    with growth in roughly [-1, 1] (percent growth / 100, as P1B3 uses).
+    """
+    if features < 4:
+        raise ValueError(f"P1B3 needs >= 4 features, got {features}")
+    x = rng.random((n, features))
+    dose = x[:, 0]  # first feature acts as log-concentration
+    cell = x[:, 1 : features // 2].mean(axis=1)
+    drug = x[:, features // 2 :].mean(axis=1)
+    ic50 = 0.2 + 0.6 * drug
+    hill = 1.0 / (1.0 + np.exp((dose - ic50) * 8.0))
+    growth = 2.0 * (hill * (0.4 + 0.6 * cell)) - 0.5
+    growth += noise * rng.standard_normal(n)
+    return x, np.clip(growth, -1.0, 1.0)

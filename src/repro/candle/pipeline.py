@@ -1,0 +1,140 @@
+"""The complete Figure 2 control flow as one entry point.
+
+"Each CANDLE benchmark entails three phases: data loading and
+preprocessing, basic training and cross-validation, and prediction and
+evaluation on test data." This module is the benchmark ``main()``: it
+loads the CSVs with a selectable method, applies the benchmark's
+feature scaler (:mod:`repro.candle.preprocessing`), trains with the
+Table 1 hyperparameters (optionally under Horovod via the caller's
+plan), and evaluates — returning one
+:class:`BenchmarkRunReport` with phase timings and metrics.
+
+This is the serial path; the parallel path with the same phase
+structure is :func:`repro.core.parallel.run_parallel_benchmark`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.candle.base import CandleBenchmark, LoadedData
+from repro.candle.preprocessing import get_scaler
+from repro.nn import get_optimizer
+
+__all__ = ["run_benchmark", "BenchmarkRunReport"]
+
+
+@dataclass
+class BenchmarkRunReport:
+    """One serial benchmark run: phase seconds + metrics + history."""
+
+    benchmark: str
+    load_s: float
+    train_s: float
+    eval_s: float
+    history: dict[str, list[float]] = field(default_factory=dict)
+    eval_metrics: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_s(self) -> float:
+        return self.load_s + self.train_s + self.eval_s
+
+    def dominant_phase(self) -> str:
+        phases = {"load": self.load_s, "train": self.train_s, "eval": self.eval_s}
+        return max(phases, key=phases.get)
+
+
+def _loss_and_metrics(benchmark: CandleBenchmark):
+    if benchmark.spec.task == "classification":
+        return "categorical_crossentropy", ["accuracy"]
+    if benchmark.spec.task == "autoencoder":
+        return "mse", []
+    return "mse", ["mae"]
+
+
+def run_benchmark(
+    benchmark: CandleBenchmark,
+    data_paths: Optional[tuple] = None,
+    load_method: str = "original",
+    scaler: Optional[str] = "maxabs",
+    epochs: Optional[int] = None,
+    batch_size: Optional[int] = None,
+    learning_rate: Optional[float] = None,
+    seed: int = 0,
+    validation: bool = True,
+) -> BenchmarkRunReport:
+    """Execute the benchmark's three phases serially.
+
+    With ``data_paths=(train_csv, test_csv)`` the loading phase really
+    parses files via ``load_method``; without, synthetic arrays are
+    generated in memory (loading cost ≈ 0). Hyperparameters default to
+    the benchmark's Table 1 values.
+    """
+    from repro.core.dataloading import load_benchmark_data
+
+    # ---- phase 1: data loading and preprocessing -------------------------
+    t0 = time.perf_counter()
+    if data_paths is not None:
+        data = load_benchmark_data(
+            benchmark, data_paths[0], data_paths[1], method=load_method
+        )
+    else:
+        data = benchmark.synth_arrays(np.random.default_rng(seed))
+    x_train, x_test = data.x_train, data.x_test
+    scale = get_scaler(scaler)
+    if scale is not None:
+        flat_train = x_train.reshape(len(x_train), -1)
+        flat_test = x_test.reshape(len(x_test), -1)
+        x_train = scale.fit_transform(flat_train).reshape(x_train.shape)
+        x_test = scale.transform(flat_test).reshape(x_test.shape)
+        if benchmark.spec.task == "autoencoder":
+            data = LoadedData(x_train, x_train, x_test, x_test)
+        else:
+            data = LoadedData(x_train, data.y_train, x_test, data.y_test)
+    load_s = time.perf_counter() - t0
+
+    # benchmarks with a conv front end (P1B3 conv=True) need a channel axis
+    if hasattr(benchmark, "prepare_x") and getattr(benchmark, "conv", False):
+        data = LoadedData(
+            benchmark.prepare_x(data.x_train),
+            data.y_train,
+            benchmark.prepare_x(data.x_test),
+            data.y_test,
+        )
+
+    # ---- phase 2: training and cross-validation ----------------------------
+    t1 = time.perf_counter()
+    spec = benchmark.spec
+    model = benchmark.build_model(seed=seed)
+    loss, metric_names = _loss_and_metrics(benchmark)
+    model.compile(
+        get_optimizer(spec.optimizer, lr=learning_rate if learning_rate is not None else spec.learning_rate),
+        loss,
+        metrics=metric_names,
+    )
+    history = model.fit(
+        data.x_train,
+        data.y_train,
+        batch_size=min(batch_size or spec.batch_size, len(data.x_train)),
+        epochs=epochs if epochs is not None else min(spec.epochs, 8),
+        validation_data=(data.x_test, data.y_test) if validation else None,
+    )
+    train_s = time.perf_counter() - t1
+
+    # ---- phase 3: prediction and evaluation ---------------------------------
+    t2 = time.perf_counter()
+    eval_metrics = model.evaluate(data.x_test, data.y_test)
+    eval_s = time.perf_counter() - t2
+
+    return BenchmarkRunReport(
+        benchmark=spec.name,
+        load_s=load_s,
+        train_s=train_s,
+        eval_s=eval_s,
+        history=dict(history.history),
+        eval_metrics=eval_metrics,
+    )

@@ -1,0 +1,132 @@
+"""Feature scalers (the sklearn-preprocessing substitute).
+
+The real CANDLE benchmarks preprocess loaded frames with scikit-learn
+scalers (``MaxAbsScaler`` for NT3's expression data, ``StandardScaler``
+/ ``MinMaxScaler`` elsewhere) as part of the Figure 2 "data loading and
+preprocessing" phase. We have no sklearn, so this module implements the
+three scalers with the same fit/transform API and exact semantics:
+
+- :class:`MaxAbsScaler` — divide by per-column max |x| (sparse-safe:
+  preserves zeros).
+- :class:`MinMaxScaler` — map per-column min..max to 0..1.
+- :class:`StandardScaler` — per-column z-score.
+
+All handle constant columns without dividing by zero and validate
+feature-count consistency between fit and transform.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["MaxAbsScaler", "MinMaxScaler", "StandardScaler", "get_scaler"]
+
+
+class _Scaler:
+    """Shared fit/transform plumbing."""
+
+    def __init__(self):
+        self.n_features: Optional[int] = None
+
+    def fit(self, x: np.ndarray) -> "_Scaler":
+        x = self._validate(x, fitting=True)
+        self.n_features = x.shape[1]
+        self._fit(x)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.n_features is None:
+            raise RuntimeError(f"{type(self).__name__} not fitted; call fit() first")
+        x = self._validate(x)
+        if x.shape[1] != self.n_features:
+            raise ValueError(
+                f"expected {self.n_features} features, got {x.shape[1]}"
+            )
+        return self._transform(x)
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    @staticmethod
+    def _validate(x: np.ndarray, fitting: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError(f"expected 2-D data, got {x.ndim}-D")
+        if fitting and x.shape[0] == 0:
+            raise ValueError("cannot fit a scaler on zero samples")
+        return x
+
+    def _fit(self, x: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _transform(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class MaxAbsScaler(_Scaler):
+    """x / max|column| — keeps sparsity, range within [-1, 1]."""
+
+    def _fit(self, x):
+        scale = np.abs(x).max(axis=0)
+        scale[scale == 0.0] = 1.0  # constant-zero columns pass through
+        self.scale_ = scale
+
+    def _transform(self, x):
+        return x / self.scale_
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        return self._validate(x) * self.scale_
+
+
+class MinMaxScaler(_Scaler):
+    """(x - min) / (max - min), constant columns map to 0."""
+
+    def _fit(self, x):
+        self.min_ = x.min(axis=0)
+        span = x.max(axis=0) - self.min_
+        span[span == 0.0] = 1.0
+        self.span_ = span
+
+    def _transform(self, x):
+        return (x - self.min_) / self.span_
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        return self._validate(x) * self.span_ + self.min_
+
+
+class StandardScaler(_Scaler):
+    """(x - mean) / std, constant columns map to 0."""
+
+    def _fit(self, x):
+        self.mean_ = x.mean(axis=0)
+        std = x.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.std_ = std
+
+    def _transform(self, x):
+        return (x - self.mean_) / self.std_
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        return self._validate(x) * self.std_ + self.mean_
+
+
+_SCALERS = {
+    "maxabs": MaxAbsScaler,
+    "minmax": MinMaxScaler,
+    "std": StandardScaler,
+    "standard": StandardScaler,
+}
+
+
+def get_scaler(name: Optional[str]):
+    """Resolve a scaler by CANDLE-style name; None disables scaling."""
+    if name is None or name == "none":
+        return None
+    try:
+        return _SCALERS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scaler {name!r}; known: {sorted(_SCALERS)}"
+        ) from None

@@ -1,0 +1,64 @@
+"""Process/thread pinning recipes from the paper (§2.3.2).
+
+Two exact configurations appear in the paper's methodology:
+
+- **Summit GPU pinning**: "pin the GPU to be used to the process local
+  rank (one GPU per process) … ``config.gpu_options.visible_device_list
+  = str(hvd.local_rank())``".
+- **Theta CPU threading**: one rank per node with 64 threads and the
+  KMP affinity environment::
+
+      os.environ["KMP_BLOCKTIME"] = "0"
+      os.environ["KMP_SETTINGS"] = "1"
+      os.environ["KMP_AFFINITY"] = "granularity=fine,verbose,compact,1,0"
+      intra_op_parallelism_threads = OMP_NUM_THREADS (64)
+      inter_op_parallelism_threads = 1
+
+This module reproduces both as data (an env dict and a session-config
+dict), so runners and tests can assert the paper's exact settings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["summit_gpu_pinning", "theta_thread_env", "theta_session_config"]
+
+
+def summit_gpu_pinning(local_rank: int, gpus_per_node: int = 6) -> Dict[str, str]:
+    """The visible-device config for one rank on a Summit node.
+
+    Raises if the local rank exceeds the node's GPU count — exactly the
+    mistake jsrun resource sets exist to prevent.
+    """
+    if not 0 <= local_rank < gpus_per_node:
+        raise ValueError(
+            f"local rank {local_rank} has no GPU on a {gpus_per_node}-GPU node"
+        )
+    return {
+        "visible_device_list": str(local_rank),
+        "allow_growth": "true",
+    }
+
+
+def theta_thread_env(omp_num_threads: int = 64) -> Dict[str, str]:
+    """The paper's exact KMP environment for Theta (§2.3.2)."""
+    if omp_num_threads <= 0:
+        raise ValueError(f"thread count must be positive, got {omp_num_threads}")
+    return {
+        "KMP_BLOCKTIME": "0",
+        "KMP_SETTINGS": "1",
+        "KMP_AFFINITY": "granularity=fine,verbose,compact,1,0",
+        "OMP_NUM_THREADS": str(omp_num_threads),
+    }
+
+
+def theta_session_config(omp_num_threads: int = 64) -> Dict[str, object]:
+    """The TF session-config equivalent the paper constructs on Theta."""
+    if omp_num_threads <= 0:
+        raise ValueError(f"thread count must be positive, got {omp_num_threads}")
+    return {
+        "intra_op_parallelism_threads": int(omp_num_threads),
+        "inter_op_parallelism_threads": 1,
+        "allow_soft_placement": True,
+    }

@@ -1,0 +1,74 @@
+"""jsrun-style node partitioning (paper Fig 5b).
+
+The paper uses the jsrun visualizer to split each Summit node into six
+resource sets — one V100 + 7 CPU cores each — so Horovod runs one rank
+per GPU. This module computes and validates such partitions and renders
+the layout the visualizer shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["ResourceSet", "partition_node", "render_layout"]
+
+
+@dataclass(frozen=True)
+class ResourceSet:
+    """One rank's slice of a node."""
+
+    index: int
+    gpu_ids: tuple[int, ...]
+    core_ids: tuple[int, ...]
+
+    @property
+    def ngpus(self) -> int:
+        return len(self.gpu_ids)
+
+    @property
+    def ncores(self) -> int:
+        return len(self.core_ids)
+
+
+def partition_node(
+    total_cores: int = 42,
+    total_gpus: int = 6,
+    sets_per_node: int = 6,
+) -> List[ResourceSet]:
+    """Split a node into ``sets_per_node`` disjoint resource sets.
+
+    Defaults give the paper's layout: 42 usable POWER9 cores + 6 GPUs
+    → 6 sets of (1 GPU, 7 cores). GPUs must divide evenly; leftover
+    cores are dropped (jsrun leaves them idle).
+    """
+    if sets_per_node <= 0:
+        raise ValueError(f"sets_per_node must be positive, got {sets_per_node}")
+    if total_gpus and total_gpus % sets_per_node != 0:
+        raise ValueError(
+            f"{total_gpus} GPUs cannot split evenly into {sets_per_node} sets"
+        )
+    cores_per_set = total_cores // sets_per_node
+    if cores_per_set == 0:
+        raise ValueError(
+            f"{total_cores} cores are too few for {sets_per_node} sets"
+        )
+    gpus_per_set = total_gpus // sets_per_node if total_gpus else 0
+    sets = []
+    for i in range(sets_per_node):
+        gpu_ids = tuple(range(i * gpus_per_set, (i + 1) * gpus_per_set))
+        core_ids = tuple(range(i * cores_per_set, (i + 1) * cores_per_set))
+        sets.append(ResourceSet(index=i, gpu_ids=gpu_ids, core_ids=core_ids))
+    return sets
+
+
+def render_layout(sets: List[ResourceSet]) -> str:
+    """ASCII rendering of a node partition (jsrun visualizer analog)."""
+    lines = []
+    for rs in sets:
+        gpus = ",".join(f"g{g}" for g in rs.gpu_ids) or "-"
+        cores = (
+            f"c{rs.core_ids[0]}-c{rs.core_ids[-1]}" if rs.core_ids else "-"
+        )
+        lines.append(f"| set {rs.index}: GPU[{gpus}] cores[{cores}] |")
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Batch-size scaling strategies (paper Fig 4b, §4.2.4).
+
+With many workers the batch size can grow "to some extent for better
+performance without reducing the training accuracy":
+
+- linear:      ``batch_size * GPUs``
+- square root: ``int(batch_size * GPUs ** (1/2))``
+- cubic root:  ``int(batch_size * GPUs ** (1/3))``
+- none:        keep the default (what NT3/P1B1/P1B2 do — small sample
+  counts make larger batches destructive).
+
+The paper also hits two practical walls reproduced here: NT3 runs out
+of GPU memory at batch >= 50 (16 GB V100), and P1B3's linear scaling
+fails outright at batch 19,200/38,400 because the batch exceeds what a
+worker can hold — :func:`memory_limited_batch` models both.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict
+
+__all__ = ["scale_batch_size", "BATCH_STRATEGIES", "memory_limited_batch", "BatchMemoryError"]
+
+
+class BatchMemoryError(RuntimeError):
+    """The requested batch does not fit in device memory (paper: OOM)."""
+
+
+BATCH_STRATEGIES: Dict[str, Callable[[int, int], int]] = {
+    "none": lambda b, n: b,
+    "linear": lambda b, n: b * n,
+    "sqrt": lambda b, n: int(b * math.sqrt(n)),
+    "cubic": lambda b, n: int(b * n ** (1.0 / 3.0)),
+}
+
+
+def scale_batch_size(base: int, nworkers: int, strategy: str = "none") -> int:
+    """Scaled batch size under one of the paper's strategies."""
+    if base <= 0:
+        raise ValueError(f"base batch size must be positive, got {base}")
+    if nworkers <= 0:
+        raise ValueError(f"nworkers must be positive, got {nworkers}")
+    try:
+        fn = BATCH_STRATEGIES[strategy]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; known: {sorted(BATCH_STRATEGIES)}"
+        ) from None
+    return max(1, fn(base, nworkers))
+
+
+def memory_limited_batch(
+    features: int,
+    activation_multiplier: float,
+    device_mem_gb: float,
+    bytes_per_value: int = 4,
+    reserve_gb: float = 4.0,
+) -> int:
+    """Largest batch that fits device memory.
+
+    Activation memory per sample ≈ ``features * activation_multiplier *
+    bytes_per_value`` (conv stacks multiply the input by their filter
+    counts — NT3's two 128-filter conv layers give a multiplier of
+    several hundred, which is why batch 50 x 60,483 floats already blows
+    a 16 GB V100 in the paper). ``reserve_gb`` holds back weights,
+    optimizer state, and framework overhead.
+    """
+    if features <= 0 or activation_multiplier <= 0:
+        raise ValueError("features and activation_multiplier must be positive")
+    usable = (device_mem_gb - reserve_gb) * 1e9
+    if usable <= 0:
+        raise BatchMemoryError(
+            f"no memory left after reserving {reserve_gb} GB of {device_mem_gb} GB"
+        )
+    per_sample = features * activation_multiplier * bytes_per_value
+    return max(1, int(usable // per_sample))
+
+
+def check_batch_fits(
+    batch_size: int,
+    features: int,
+    activation_multiplier: float,
+    device_mem_gb: float,
+    **kwargs,
+) -> None:
+    """Raise :class:`BatchMemoryError` if the batch cannot fit (OOM)."""
+    limit = memory_limited_batch(
+        features, activation_multiplier, device_mem_gb, **kwargs
+    )
+    if batch_size > limit:
+        raise BatchMemoryError(
+            f"batch {batch_size} exceeds device capacity {limit} "
+            f"({device_mem_gb} GB, {features} features)"
+        )

@@ -1,0 +1,30 @@
+"""Learning-rate scaling (paper §2.3.2).
+
+"Scale the learning rate by the number of workers. We scale the
+learning rate to learning_rate x nprocs." — the standard linear rule
+(Goyal et al.) the paper applies alongside its epoch/batch scaling.
+A square-root variant is included for the ablation benches.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["scale_learning_rate", "LR_STRATEGIES"]
+
+LR_STRATEGIES = ("none", "linear", "sqrt")
+
+
+def scale_learning_rate(base_lr: float, nworkers: int, strategy: str = "linear") -> float:
+    """Scaled learning rate for ``nworkers`` data-parallel workers."""
+    if base_lr <= 0:
+        raise ValueError(f"base learning rate must be positive, got {base_lr}")
+    if nworkers <= 0:
+        raise ValueError(f"nworkers must be positive, got {nworkers}")
+    if strategy == "none":
+        return base_lr
+    if strategy == "linear":
+        return base_lr * nworkers
+    if strategy == "sqrt":
+        return base_lr * math.sqrt(nworkers)
+    raise ValueError(f"unknown strategy {strategy!r}; known: {LR_STRATEGIES}")

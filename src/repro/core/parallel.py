@@ -1,0 +1,182 @@
+"""The functional parallel benchmark runner (paper Figs 2 & 3).
+
+Executes a CANDLE benchmark's three phases under Horovod data
+parallelism with *real* training and *real* collectives (SPMD threads):
+
+1. **Data loading & preprocessing** — every rank reads the same CSVs
+   (as the paper's benchmarks do) with a selectable method; an optional
+   :class:`~repro.cluster.filesystem.IoSkewModel` stretches per-rank
+   load times so the broadcast-delay mechanism is observable.
+2. **Training & cross-validation** — each rank builds the model with a
+   *different* seed, wraps the Table 1 optimizer in
+   ``DistributedOptimizer``, registers
+   ``BroadcastGlobalVariablesCallback(0)``, scales the learning rate
+   linearly, and runs its share of epochs.
+3. **Prediction & evaluation** — every rank evaluates on the test set.
+
+Returns per-rank phase timings, rank-0 history, and the shared timeline
+— everything Figures 6-10 read in functional mode.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro import hvd
+from repro.candle.base import CandleBenchmark, LoadedData
+from repro.cluster.filesystem import IoSkewModel
+from repro.core.dataloading import load_benchmark_data
+from repro.core.scaling import ScalingPlan
+from repro.hvd.timeline import Timeline
+from repro.mpi import run_spmd
+from repro.nn import get_optimizer
+
+__all__ = ["run_parallel_benchmark", "ParallelRunResult", "RankReport"]
+
+
+@dataclass
+class RankReport:
+    """One rank's phase timings and results."""
+
+    rank: int
+    load_s: float
+    train_s: float
+    eval_s: float
+    history: dict[str, list[float]]
+    eval_metrics: dict[str, float]
+
+    @property
+    def total_s(self) -> float:
+        return self.load_s + self.train_s + self.eval_s
+
+
+@dataclass
+class ParallelRunResult:
+    """Aggregate of a functional parallel run."""
+
+    plan: ScalingPlan
+    ranks: list[RankReport]
+    timeline: Timeline
+    wall_s: float
+
+    @property
+    def nworkers(self) -> int:
+        return len(self.ranks)
+
+    @property
+    def history(self) -> dict[str, list[float]]:
+        """Rank 0's training history (ranks are weight-consistent)."""
+        return self.ranks[0].history
+
+    @property
+    def final_train_metric(self) -> dict[str, float]:
+        """Last-epoch training metrics from rank 0."""
+        return {k: v[-1] for k, v in self.history.items() if v}
+
+    def phase_seconds(self) -> dict[str, float]:
+        """Max-over-ranks phase durations (the run is gated by the slowest)."""
+        return {
+            "load": max(r.load_s for r in self.ranks),
+            "train": max(r.train_s for r in self.ranks),
+            "eval": max(r.eval_s for r in self.ranks),
+        }
+
+
+def _loss_and_metrics(benchmark: CandleBenchmark):
+    if benchmark.spec.task == "classification":
+        return "categorical_crossentropy", ["accuracy"]
+    if benchmark.spec.task == "autoencoder":
+        return "mse", []
+    return "mse", ["mae"]
+
+
+def run_parallel_benchmark(
+    benchmark: CandleBenchmark,
+    plan: ScalingPlan,
+    data: Optional[LoadedData] = None,
+    data_paths: Optional[tuple] = None,
+    load_method: str = "original",
+    seed: int = 0,
+    io_skew: Optional[IoSkewModel] = None,
+    skew_scale_s: float = 0.0,
+    local_size: int = 6,
+    validation: bool = False,
+) -> ParallelRunResult:
+    """Run one benchmark under one scaling plan, functionally.
+
+    Provide either ``data`` (pre-generated arrays, shared by all ranks —
+    fast path for accuracy studies) or ``data_paths=(train, test)`` to
+    make every rank genuinely parse the CSVs with ``load_method``.
+    ``io_skew`` + ``skew_scale_s`` inject per-rank artificial load-time
+    dispersion (rank sleeps ``(factor-1) * skew_scale_s``), which the
+    negotiate_broadcast timeline events then expose.
+    """
+    if data is None and data_paths is None:
+        data = benchmark.synth_arrays(np.random.default_rng(seed))
+    loss_name, metric_names = _loss_and_metrics(benchmark)
+    timeline = Timeline(origin_s=time.perf_counter())
+    factors = (
+        io_skew.factors(plan.nworkers, seed=seed) if io_skew is not None else None
+    )
+
+    def worker(comm):
+        hvd.init(comm, timeline=timeline)
+        try:
+            # ---- phase 1: data loading & preprocessing -------------------
+            t0 = time.perf_counter()
+            if data_paths is not None:
+                local = load_benchmark_data(
+                    benchmark, data_paths[0], data_paths[1], method=load_method
+                )
+            else:
+                local = data
+            if factors is not None and skew_scale_s > 0:
+                # stretch this rank's load relative to the fastest rank
+                time.sleep((factors[comm.rank] - factors.min()) * skew_scale_s)
+            load_s = time.perf_counter() - t0
+
+            # ---- phase 2: training & cross-validation --------------------
+            t1 = time.perf_counter()
+            model = benchmark.build_model(seed=seed + 1000 * (comm.rank + 1))
+            base_opt = get_optimizer(benchmark.spec.optimizer, lr=plan.learning_rate)
+            model.compile(
+                hvd.DistributedOptimizer(base_opt), loss_name, metrics=metric_names
+            )
+            callbacks = [hvd.BroadcastGlobalVariablesCallback(0)]
+            x_train = local.x_train
+            if hasattr(benchmark, "prepare_x") and getattr(benchmark, "conv", False):
+                x_train = benchmark.prepare_x(x_train[..., 0] if x_train.ndim == 3 else x_train)
+            history = model.fit(
+                x_train,
+                local.y_train,
+                batch_size=min(plan.batch_size, len(x_train)),
+                epochs=plan.epochs_per_worker,
+                callbacks=callbacks,
+                validation_data=(local.x_test, local.y_test) if validation else None,
+            )
+            train_s = time.perf_counter() - t1
+
+            # ---- phase 3: prediction & evaluation ------------------------
+            t2 = time.perf_counter()
+            x_test = local.x_test
+            metrics = model.evaluate(x_test, local.y_test)
+            eval_s = time.perf_counter() - t2
+            return RankReport(
+                rank=comm.rank,
+                load_s=load_s,
+                train_s=train_s,
+                eval_s=eval_s,
+                history=dict(history.history),
+                eval_metrics=metrics,
+            )
+        finally:
+            hvd.shutdown()
+
+    t_start = time.perf_counter()
+    reports = run_spmd(plan.nworkers, worker, local_size=local_size)
+    wall = time.perf_counter() - t_start
+    return ParallelRunResult(plan=plan, ranks=reports, timeline=timeline, wall_s=wall)

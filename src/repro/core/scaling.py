@@ -1,0 +1,117 @@
+"""Strong/weak scaling plans (paper Fig 4a, §2.3.1).
+
+- **Strong scaling** (inverse proportion): total epochs constant;
+  epochs per worker = total / N. More GPUs ⇒ fewer epochs each ⇒
+  shorter runs, at the cost of accuracy once epochs/GPU gets too small
+  (NT3 needs ≥ 8, P1B2 needs ≥ 16).
+- **Weak scaling** (direct proportion): epochs per worker constant
+  (the paper uses 8, "the Horovod NT3 with 8 epochs achieves an
+  accuracy of 1"); total work grows with N.
+
+A plan bundles everything a run needs: worker count, epochs/worker,
+batch size (after the chosen batch strategy), and the linearly scaled
+learning rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.candle.base import BenchmarkSpec
+from repro.core.batch_scaling import scale_batch_size
+from repro.core.epochs import comp_epochs_balanced
+from repro.core.lr_scaling import scale_learning_rate
+
+__all__ = ["ScalingPlan", "strong_scaling_plan", "weak_scaling_plan"]
+
+#: weak-scaling epochs per worker used throughout §6
+WEAK_SCALING_EPOCHS_PER_WORKER = 8
+
+
+@dataclass(frozen=True)
+class ScalingPlan:
+    """A fully resolved parallel-run configuration."""
+
+    benchmark: str
+    mode: str  # 'strong' | 'weak'
+    nworkers: int
+    epochs_per_worker: int
+    batch_size: int
+    learning_rate: Optional[float]
+    batch_strategy: str = "none"
+
+    def __post_init__(self):
+        if self.nworkers <= 0:
+            raise ValueError(f"nworkers must be positive, got {self.nworkers}")
+        if self.epochs_per_worker <= 0:
+            raise ValueError(
+                f"epochs_per_worker must be positive, got {self.epochs_per_worker}"
+            )
+        if self.batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {self.batch_size}")
+        if self.mode not in ("strong", "weak"):
+            raise ValueError(f"mode must be strong|weak, got {self.mode!r}")
+
+    @property
+    def total_epochs(self) -> int:
+        """Aggregate epochs executed across all workers."""
+        return self.epochs_per_worker * self.nworkers
+
+    def steps_per_epoch(self, train_samples: int) -> int:
+        return max(1, train_samples // self.batch_size)
+
+    def total_steps(self, train_samples: int) -> int:
+        """Iterations each worker runs: E_per_worker x S/B (Fig 3)."""
+        return self.epochs_per_worker * self.steps_per_epoch(train_samples)
+
+
+def strong_scaling_plan(
+    spec: BenchmarkSpec,
+    nworkers: int,
+    batch_strategy: str = "none",
+    batch_size: Optional[int] = None,
+    total_epochs: Optional[int] = None,
+) -> ScalingPlan:
+    """Fixed total epochs split across ``nworkers`` (Fig 4a, left)."""
+    total = total_epochs if total_epochs is not None else spec.epochs
+    base_batch = batch_size if batch_size is not None else spec.batch_size
+    lr = (
+        scale_learning_rate(spec.learning_rate, nworkers)
+        if spec.learning_rate is not None
+        else None
+    )
+    return ScalingPlan(
+        benchmark=spec.name,
+        mode="strong",
+        nworkers=nworkers,
+        epochs_per_worker=comp_epochs_balanced(total, nworkers),
+        batch_size=scale_batch_size(base_batch, nworkers, batch_strategy),
+        learning_rate=lr,
+        batch_strategy=batch_strategy,
+    )
+
+
+def weak_scaling_plan(
+    spec: BenchmarkSpec,
+    nworkers: int,
+    epochs_per_worker: int = WEAK_SCALING_EPOCHS_PER_WORKER,
+    batch_strategy: str = "none",
+    batch_size: Optional[int] = None,
+) -> ScalingPlan:
+    """Fixed epochs per worker (Fig 4a, right; §6 uses 8)."""
+    base_batch = batch_size if batch_size is not None else spec.batch_size
+    lr = (
+        scale_learning_rate(spec.learning_rate, nworkers)
+        if spec.learning_rate is not None
+        else None
+    )
+    return ScalingPlan(
+        benchmark=spec.name,
+        mode="weak",
+        nworkers=nworkers,
+        epochs_per_worker=epochs_per_worker,
+        batch_size=scale_batch_size(base_batch, nworkers, batch_strategy),
+        learning_rate=lr,
+        batch_strategy=batch_strategy,
+    )

@@ -1,0 +1,230 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not in the paper's evaluation, but each probes a mechanism the paper
+leans on:
+
+- **fusion**: Horovod's tensor fusion (§2.2) — per-step allreduce time
+  vs fusion-buffer size, including the per-tensor (no fusion) extreme.
+- **collectives**: flat ring vs NCCL-style hierarchical allreduce —
+  why two-level reduction is required at 3,072 ranks.
+- **lr scaling**: the §2.3.2 linear LR rule vs none vs sqrt, by real
+  training at fixed epochs.
+- **nccl upgrade**: the paper's §7 plan ("upgrade NCCL from 2.3.7 to
+  2.4.2 to reduce the communication overhead") — simulated by the
+  lower per-hop launch latency the newer NCCL delivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.candle.nt3 import NT3_SPEC
+from repro.cluster.machine import SUMMIT
+from repro.experiments import common
+from repro.experiments.base import ExperimentResult
+from repro.hvd.fusion import FusionBuffer
+from repro.mpi.network import CollectiveCostModel
+
+#: NT3's per-layer gradient tensors (elements), from the CANDLE model:
+#: conv1 (128x20x1+128), conv2 (128x10x128+128), dense200 (773760x200+200),
+#: dense20 (200x20+20), dense2 (20x2+2)
+NT3_LAYER_PARAMS = (2_688, 163_968, 154_752_200, 4_020, 42)
+
+
+def _allreduce_time(cm: CollectiveCostModel, sizes_bytes, nworkers: int) -> float:
+    total = cm.negotiate(nworkers) * 1  # one coordination round per cycle
+    for nbytes in sizes_bytes:
+        total += cm.allreduce_hierarchical(nbytes, nworkers)
+    return total
+
+
+def run_fusion(fast: bool = True) -> ExperimentResult:
+    cm = CollectiveCostModel(SUMMIT.fabric, ranks_per_node=SUMMIT.workers_per_node)
+    tensors = {
+        f"t{i}": np.zeros(n, dtype=np.float32) for i, n in enumerate(NT3_LAYER_PARAMS)
+    }
+    rows = []
+    for nworkers in (48, 384, 3072):
+        row = {"gpus": nworkers}
+        # no fusion: one ring op per layer tensor
+        per_tensor = [t.nbytes for t in tensors.values()]
+        row["per_tensor_ms"] = round(_allreduce_time(cm, per_tensor, nworkers) * 1e3, 2)
+        for mb in (8, 64, 512):
+            fused = FusionBuffer(mb << 20).fused_sizes(tensors)
+            # a group larger than the buffer still rings in buffer-sized pieces
+            sizes = []
+            for s in fused:
+                while s > (mb << 20):
+                    sizes.append(mb << 20)
+                    s -= mb << 20
+                if s:
+                    sizes.append(s)
+            row[f"fused_{mb}mb_ms"] = round(
+                _allreduce_time(cm, sizes, nworkers) * 1e3, 2
+            )
+        rows.append(row)
+    better = all(r["fused_512mb_ms"] <= r["per_tensor_ms"] for r in rows)
+    return ExperimentResult(
+        experiment_id="ablation_fusion",
+        title="Tensor-fusion ablation: per-step allreduce time vs buffer size",
+        panels={"": rows},
+        paper_claims={"fusion never hurts (bigger buffers <= per-tensor)": 1.0},
+        measured={"fusion never hurts (bigger buffers <= per-tensor)": float(better)},
+        notes="Latency terms scale with the number of ring operations; fusing "
+        "small tensors amortizes them (Horovod §2.2's motivation).",
+    )
+
+
+def run_collectives(fast: bool = True) -> ExperimentResult:
+    cm = CollectiveCostModel(SUMMIT.fabric, ranks_per_node=SUMMIT.workers_per_node)
+    # charge the gradient in 64 MB fusion pieces, as the runner does —
+    # the per-piece latency terms are what hierarchy amortizes
+    nbytes = NT3_SPEC.gradient_bytes
+    pieces = [64 << 20] * (nbytes // (64 << 20))
+    if nbytes % (64 << 20):
+        pieces.append(nbytes % (64 << 20))
+    rows = []
+    for nworkers in (6, 48, 384, 3072):
+        flat = sum(cm.allreduce_ring(p, nworkers) for p in pieces)
+        hier = sum(cm.allreduce_hierarchical(p, nworkers) for p in pieces)
+        rows.append(
+            {
+                "gpus": nworkers,
+                "flat_ring_ms": round(flat * 1e3, 1),
+                "hierarchical_ms": round(hier * 1e3, 1),
+                "speedup": round(flat / hier, 2) if hier else 1.0,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="ablation_collectives",
+        title="Flat ring vs hierarchical allreduce (NT3 gradient, 64 MB fusion)",
+        panels={"": rows},
+        paper_claims={"hierarchy wins at 3072 GPUs (speedup > 2x)": 1.0},
+        measured={
+            "hierarchy wins at 3072 GPUs (speedup > 2x)": float(
+                rows[-1]["speedup"] > 2.0
+            )
+        },
+        notes="Flat rings pay 2(p-1) per-hop latencies per fused piece; "
+        "two-level reduction pays 2(p/6-1) inter-node hops instead. At one "
+        "node (6 GPUs) the two are identical; at moderate scale hierarchy's "
+        "double data movement costs slightly more, and at thousands of "
+        "ranks the latency savings dominate.",
+    )
+
+
+def run_lr_scaling(fast: bool = True) -> ExperimentResult:
+    from repro.candle import get_benchmark
+    from repro.core.parallel import run_parallel_benchmark
+    from repro.core.scaling import ScalingPlan
+    from repro.core.lr_scaling import scale_learning_rate
+
+    bench = get_benchmark("nt3", scale=0.004 if fast else 0.008, sample_scale=0.5)
+    nworkers = 4
+    epochs = 4 if fast else 8
+    rows = []
+    for strategy in ("none", "sqrt", "linear"):
+        lr = scale_learning_rate(bench.spec.learning_rate, nworkers, strategy)
+        plan = ScalingPlan(
+            benchmark="NT3", mode="strong", nworkers=nworkers,
+            epochs_per_worker=epochs, batch_size=20, learning_rate=lr,
+        )
+        res = run_parallel_benchmark(bench, plan, seed=13)
+        rows.append(
+            {
+                "strategy": strategy,
+                "lr": round(lr, 5),
+                "train_accuracy": round(res.final_train_metric["accuracy"], 3),
+                "train_loss": round(res.final_train_metric["loss"], 4),
+            }
+        )
+    by = {r["strategy"]: r for r in rows}
+    return ExperimentResult(
+        experiment_id="ablation_lr",
+        title="Learning-rate scaling ablation (NT3, 4 workers, fixed epochs)",
+        panels={"": rows},
+        paper_claims={"linear scaling at least matches unscaled": 1.0},
+        measured={
+            "linear scaling at least matches unscaled": float(
+                by["linear"]["train_accuracy"] >= by["none"]["train_accuracy"] - 0.02
+            )
+        },
+        notes="With N-way gradient averaging, unscaled LR under-steps; the "
+        "paper's linear rule restores the effective step size.",
+    )
+
+
+def run_nccl_upgrade(fast: bool = True) -> ExperimentResult:
+    """§7: upgrading NCCL 2.3.7 → 2.4.2 cuts per-hop launch latency."""
+    old_fabric = SUMMIT.fabric
+    new_fabric = replace(old_fabric, inter_alpha_s=old_fabric.inter_alpha_s * 0.45)
+    nbytes = NT3_SPEC.gradient_bytes
+    rows = []
+    for nworkers in (384, 768, 3072):
+        old_cm = CollectiveCostModel(old_fabric, SUMMIT.workers_per_node)
+        new_cm = CollectiveCostModel(new_fabric, SUMMIT.workers_per_node)
+        # 64 MB fusion pieces, as the runner charges them
+        pieces = [64 << 20] * (nbytes // (64 << 20)) + [nbytes % (64 << 20)]
+        old_t = sum(old_cm.allreduce_hierarchical(p, nworkers) for p in pieces if p)
+        new_t = sum(new_cm.allreduce_hierarchical(p, nworkers) for p in pieces if p)
+        rows.append(
+            {
+                "gpus": nworkers,
+                "nccl_2.3.7_ms": round(old_t * 1e3, 1),
+                "nccl_2.4.2_ms": round(new_t * 1e3, 1),
+                "reduction_pct": round((1 - new_t / old_t) * 100, 1),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="ablation_nccl",
+        title="NCCL 2.3.7 -> 2.4.2 upgrade (paper §7 future work)",
+        panels={"": rows},
+        paper_claims={"upgrade reduces allreduce overhead at 3072 GPUs": 1.0},
+        measured={
+            "upgrade reduces allreduce overhead at 3072 GPUs": float(
+                rows[-1]["reduction_pct"] > 10
+            )
+        },
+        notes="The benefit grows with GPU count because latency terms dominate "
+        "at scale — exactly why the paper planned the upgrade.",
+    )
+
+
+def run_overlap(fast: bool = True) -> ExperimentResult:
+    """Horovod's communication/computation interleaving (§2.2).
+
+    "A unique feature of Horovod is its ability to interleave
+    communication and computation" — this ablation turns the overlap
+    off in the simulator and measures what NT3's per-epoch time would
+    look like with a naive synchronous schedule.
+    """
+    from repro.core.scaling import weak_scaling_plan
+    from repro.sim.runner import ScaledRunSimulator
+
+    with_overlap = ScaledRunSimulator("summit", overlap=True)
+    without = ScaledRunSimulator("summit", overlap=False)
+    rows = []
+    for nworkers in (48, 384, 3072):
+        plan = weak_scaling_plan(NT3_SPEC, nworkers)
+        a = with_overlap.run(NT3_SPEC, plan, keep_profiles=False)
+        b = without.run(NT3_SPEC, plan, keep_profiles=False)
+        rows.append(
+            {
+                "gpus": nworkers,
+                "overlapped_s_per_epoch": round(a.time_per_epoch_s, 2),
+                "synchronous_s_per_epoch": round(b.time_per_epoch_s, 2),
+                "saved_pct": round((1 - a.time_per_epoch_s / b.time_per_epoch_s) * 100, 1),
+            }
+        )
+    helps = all(r["overlapped_s_per_epoch"] <= r["synchronous_s_per_epoch"] for r in rows)
+    return ExperimentResult(
+        experiment_id="ablation_overlap",
+        title="Communication/computation overlap ablation (Horovod §2.2)",
+        panels={"": rows},
+        paper_claims={"overlap never slower than synchronous": 1.0},
+        measured={"overlap never slower than synchronous": float(helps)},
+        notes="NT3's backward pass is short (~23 ms/step), so only part of "
+        "the allreduce hides behind it; larger-compute models overlap more.",
+    )

@@ -1,0 +1,18 @@
+"""Calibration appendix: every model anchor vs its paper value."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.sim.calibration import calibration_report
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    rows = calibration_report()
+    return ExperimentResult(
+        experiment_id="calibration",
+        title="Model calibration anchors vs paper scalars",
+        panels={"": rows},
+        paper_claims={r["anchor"]: r["paper"] for r in rows},
+        measured={r["anchor"]: r["model"] for r in rows},
+        notes="Anchors are the only fitted quantities; all curves derive from them.",
+    )

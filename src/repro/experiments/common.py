@@ -1,0 +1,154 @@
+"""Shared experiment machinery: grids, sweeps, and accuracy runs."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.energy import EnergyComparison, compare_runs
+from repro.candle.base import BenchmarkSpec
+from repro.candle.registry import get_benchmark
+from repro.core.parallel import run_parallel_benchmark
+from repro.core.scaling import ScalingPlan, strong_scaling_plan, weak_scaling_plan
+from repro.sim.report import SimRunReport
+from repro.sim.runner import ScaledRunSimulator
+
+__all__ = [
+    "thin",
+    "STRONG_GPUS",
+    "WEAK_GPUS",
+    "THETA_NODES",
+    "sim_sweep",
+    "comparison_sweep",
+    "accuracy_point",
+    "plan_for",
+]
+
+#: GPU grids the paper sweeps (Figs 6, 8, 9, 10: strong; Figs 18-21: weak)
+STRONG_GPUS = (1, 6, 12, 24, 48, 96, 192, 384)
+WEAK_GPUS = (6, 12, 24, 48, 96, 192, 384, 768, 1536, 3072)
+THETA_NODES = (4, 24, 48, 96, 192, 384)
+
+#: worker-thread cap for functional accuracy runs: gradient averaging
+#: saturates quickly, and what controls accuracy is epochs/worker,
+#: batch size, and the (linearly scaled) learning rate
+MAX_FUNCTIONAL_WORKERS = 4
+
+
+def plan_for(
+    spec: BenchmarkSpec,
+    nworkers: int,
+    mode: str = "strong",
+    batch_size: Optional[int] = None,
+    batch_strategy: str = "none",
+    epochs_per_worker: Optional[int] = None,
+) -> ScalingPlan:
+    """Build the paper's plan for one point of a sweep."""
+    if mode == "strong":
+        return strong_scaling_plan(
+            spec, nworkers, batch_strategy=batch_strategy, batch_size=batch_size
+        )
+    if mode == "weak":
+        kwargs = {} if epochs_per_worker is None else {"epochs_per_worker": epochs_per_worker}
+        return weak_scaling_plan(
+            spec, nworkers, batch_strategy=batch_strategy, batch_size=batch_size, **kwargs
+        )
+    raise ValueError(f"mode must be strong|weak, got {mode!r}")
+
+
+def sim_sweep(
+    spec: BenchmarkSpec,
+    machine: str,
+    counts: Sequence[int],
+    mode: str = "strong",
+    method: str = "original",
+    batch_size: Optional[int] = None,
+    batch_strategy: str = "none",
+    epochs_per_worker: Optional[int] = None,
+) -> List[SimRunReport]:
+    """Simulate one benchmark across worker counts."""
+    sim = ScaledRunSimulator(machine)
+    out = []
+    for n in counts:
+        plan = plan_for(
+            spec,
+            n,
+            mode=mode,
+            batch_size=batch_size,
+            batch_strategy=batch_strategy,
+            epochs_per_worker=epochs_per_worker,
+        )
+        out.append(sim.run(spec, plan, method=method, keep_profiles=False))
+    return out
+
+
+def comparison_sweep(
+    spec: BenchmarkSpec,
+    machine: str,
+    counts: Sequence[int],
+    mode: str = "strong",
+    epochs_per_worker: Optional[int] = None,
+) -> List[EnergyComparison]:
+    """Original-vs-chunked comparisons across worker counts."""
+    sim = ScaledRunSimulator(machine)
+    out = []
+    for n in counts:
+        plan = plan_for(spec, n, mode=mode, epochs_per_worker=epochs_per_worker)
+        orig = sim.run(spec, plan, method="original", keep_profiles=False)
+        opt = sim.run(spec, plan, method="chunked", keep_profiles=False)
+        out.append(compare_runs(orig, opt))
+    return out
+
+
+def accuracy_point(
+    benchmark_name: str,
+    nworkers: int,
+    total_epochs: Optional[int] = None,
+    epochs_per_worker: Optional[int] = None,
+    batch_size: Optional[int] = None,
+    scale: float = 0.008,
+    sample_scale: float = 1.0,
+    seed: int = 7,
+) -> dict:
+    """Real training at one scaling point; returns final train metrics.
+
+    Thread-worker count is capped at ``MAX_FUNCTIONAL_WORKERS`` while
+    epochs/worker and the LR scaling follow the *nominal* worker count —
+    the quantities the paper shows accuracy depends on.
+    """
+    bench = get_benchmark(benchmark_name, scale=scale, sample_scale=sample_scale)
+    spec = bench.spec
+    total = total_epochs if total_epochs is not None else spec.epochs
+    if epochs_per_worker is None:
+        epochs_per_worker = max(1, total // nworkers)
+    # LR scales with the *physical* averaging width: linear LR scaling is
+    # only stable when matched by the same factor of gradient averaging,
+    # so the capped functional runs must cap the LR factor too
+    lr_factor = min(nworkers, MAX_FUNCTIONAL_WORKERS)
+    lr = spec.learning_rate * lr_factor if spec.learning_rate is not None else None
+    plan = ScalingPlan(
+        benchmark=spec.name,
+        mode="strong",
+        nworkers=min(nworkers, MAX_FUNCTIONAL_WORKERS),
+        epochs_per_worker=epochs_per_worker,
+        batch_size=batch_size if batch_size is not None else spec.batch_size,
+        learning_rate=lr,
+    )
+    result = run_parallel_benchmark(bench, plan, seed=seed)
+    metrics = dict(result.final_train_metric)
+    metrics.pop("epoch_time", None)
+    metrics["epochs_per_worker"] = epochs_per_worker
+    metrics["nominal_workers"] = nworkers
+    return metrics
+
+
+def thin(counts) -> tuple:
+    """Halve a sweep grid for fast mode, always keeping the endpoints."""
+    counts = tuple(counts)
+    if len(counts) <= 4:
+        return counts
+    kept = counts[::2]
+    if counts[-1] not in kept:
+        kept = kept + (counts[-1],)
+    return kept

@@ -1,0 +1,53 @@
+"""Parallel speedup/efficiency of the training phase (extension).
+
+Classic HPC scalability accounting over the paper's strong-scaling
+runs: speedup S(N) = T_train(1)/T_train(N) and efficiency S(N)/N for
+the "TensorFlow" phase. The paper shows the raw times (Fig 6a); this
+experiment derives the efficiency curve and locates where Horovod
+overhead pulls it below 50% — context for the paper's observation that
+the allreduce overhead grows with GPU count while the per-GPU work
+shrinks.
+"""
+
+from __future__ import annotations
+
+from repro.candle.nt3 import NT3_SPEC
+from repro.experiments import common
+from repro.experiments.base import ExperimentResult
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    counts = (1, 6, 12, 24, 48, 96, 192, 384)
+    reports = common.sim_sweep(NT3_SPEC, "summit", counts, method="chunked")
+    t1 = reports[0].train_s
+    rows = []
+    for n, r in zip(counts, reports):
+        speedup = t1 / r.train_s
+        rows.append(
+            {
+                "gpus": n,
+                "train_s": round(r.train_s, 1),
+                "speedup": round(speedup, 2),
+                "efficiency_pct": round(speedup / n * 100, 1),
+            }
+        )
+    eff = {r["gpus"]: r["efficiency_pct"] for r in rows}
+    monotone_speedup = all(
+        rows[i]["speedup"] <= rows[i + 1]["speedup"] + 1e-9 for i in range(len(rows) - 1)
+    )
+    return ExperimentResult(
+        experiment_id="efficiency",
+        title="Training-phase speedup and parallel efficiency (NT3, Summit)",
+        panels={"": rows},
+        paper_claims={
+            "speedup monotone in GPUs": 1.0,
+            "efficiency decays with scale": 1.0,
+        },
+        measured={
+            "speedup monotone in GPUs": float(monotone_speedup),
+            "efficiency decays with scale": float(eff[384] < eff[6] <= eff[1]),
+        },
+        notes="Efficiency decays because per-GPU epochs shrink while the "
+        "per-step allreduce cost grows — the paper's §7 observation about "
+        "the 10 s epochs being too small to amortize Horovod overhead.",
+    )

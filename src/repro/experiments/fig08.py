@@ -1,0 +1,64 @@
+"""Figure 8: Horovod P1B1 on Summit under strong scaling.
+
+(a) Times for batch 100 (default) and 110; P1B1 "requires at least 4
+    epochs (at most 96 GPUs)", and data loading dominates from 24 GPUs.
+(b) Training loss for both batch sizes: "the loss increases only
+    slightly for both cases" as epochs/GPU shrink.
+"""
+
+from __future__ import annotations
+
+from repro.candle.p1b1 import P1B1_SPEC
+from repro.experiments import common
+from repro.experiments.base import ExperimentResult
+
+#: P1B1 needs >= 4 epochs -> at most 384/4 = 96 GPUs (paper §4.2.2)
+P1B1_STRONG_GPUS = (1, 6, 12, 24, 48, 96)
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    counts = P1B1_STRONG_GPUS
+    b100 = common.sim_sweep(P1B1_SPEC, "summit", counts, method="original", batch_size=100)
+    b110 = common.sim_sweep(P1B1_SPEC, "summit", counts, method="original", batch_size=110)
+    t_rows = []
+    for n, r100, r110 in zip(counts, b100, b110):
+        t_rows.append(
+            {
+                "gpus": n,
+                "epochs_per_gpu": r100.plan.epochs_per_worker,
+                "total_s_b100": round(r100.total_s, 1),
+                "total_s_b110": round(r110.total_s, 1),
+                "data_loading_s": round(r100.load_s, 1),
+                "loading_dominates": r100.load_s > r100.train_s,
+            }
+        )
+
+    loss_counts = (12, 48, 96) if fast else counts
+    scale = 0.003 if fast else 0.006
+    loss_rows = []
+    for n in loss_counts:
+        row = {"gpus": n}
+        for batch in (100, 110):
+            m = common.accuracy_point(
+                "p1b1", n, total_epochs=P1B1_SPEC.epochs, batch_size=batch,
+                scale=scale, sample_scale=1.0,
+            )
+            row[f"loss_b{batch}"] = round(m["loss"], 4)
+            row["epochs_per_gpu"] = m["epochs_per_worker"]
+        loss_rows.append(row)
+
+    first_dominated = next((r["gpus"] for r in t_rows if r["loading_dominates"]), None)
+    loss_ratio = loss_rows[-1]["loss_b100"] / max(loss_rows[0]["loss_b100"], 1e-9)
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="Horovod P1B1 on Summit: strong scaling (paper Fig 8)",
+        panels={"a: performance": t_rows, "b: training loss": loss_rows},
+        paper_claims={
+            "loading dominates from N GPUs": 24,
+            "loss rises only slightly (ratio < 2)": 1.0,
+        },
+        measured={
+            "loading dominates from N GPUs": float(first_dominated or -1),
+            "loss rises only slightly (ratio < 2)": float(loss_ratio < 2.0),
+        },
+    )

@@ -1,0 +1,65 @@
+"""Figure 9: Horovod P1B2 on Summit under strong scaling.
+
+(a) Times for batch 60 (default) and 100; loading grows dominant with
+    GPU count.
+(b) Training accuracy vs GPUs: "accuracy decreases significantly when
+    using 96 GPUs or more … using 16 epochs or more per GPU for model
+    training will result in high accuracy" (768/48 = 16).
+"""
+
+from __future__ import annotations
+
+from repro.candle.p1b2 import P1B2_SPEC
+from repro.experiments import common
+from repro.experiments.base import ExperimentResult
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    counts = common.STRONG_GPUS
+    b60 = common.sim_sweep(P1B2_SPEC, "summit", counts, method="original", batch_size=60)
+    b100 = common.sim_sweep(P1B2_SPEC, "summit", counts, method="original", batch_size=100)
+    t_rows = []
+    for n, r60, r100 in zip(counts, b60, b100):
+        t_rows.append(
+            {
+                "gpus": n,
+                "epochs_per_gpu": r60.plan.epochs_per_worker,
+                "total_s_b60": round(r60.total_s, 1),
+                "total_s_b100": round(r100.total_s, 1),
+                "data_loading_s": round(r60.load_s, 1),
+                "loading_dominates": r60.load_s > r60.train_s,
+            }
+        )
+
+    acc_counts = (24, 48, 96, 192) if fast else (12, 24, 48, 96, 192, 384)
+    scale = 0.004 if fast else 0.008
+    acc_rows = []
+    for n in acc_counts:
+        m = common.accuracy_point(
+            "p1b2", n, total_epochs=P1B2_SPEC.epochs, scale=scale, sample_scale=1.0
+        )
+        acc_rows.append(
+            {
+                "gpus": n,
+                "epochs_per_gpu": m["epochs_per_worker"],
+                "accuracy": round(m.get("accuracy", 0.0), 3),
+            }
+        )
+
+    acc48 = next((r["accuracy"] for r in acc_rows if r["gpus"] == 48), None)
+    acc_high = acc_rows[-1]["accuracy"]
+    return ExperimentResult(
+        experiment_id="fig9",
+        title="Horovod P1B2 on Summit: strong scaling (paper Fig 9)",
+        panels={"a: performance": t_rows, "b: training accuracy": acc_rows},
+        paper_claims={
+            "accuracy high at >=16 epochs/GPU (48 GPUs)": 1.0,
+            "accuracy drops at >=96 GPUs": 1.0,
+        },
+        measured={
+            "accuracy high at >=16 epochs/GPU (48 GPUs)": float(
+                (acc48 or 0.0) > 0.8
+            ),
+            "accuracy drops at >=96 GPUs": float(acc_high < (acc48 or 1.0)),
+        },
+    )

@@ -1,0 +1,28 @@
+"""Figure 11: NT3 original vs optimized total time on Summit.
+
+The optimized (chunked, low_memory=False) loader cuts data loading >=5x;
+the paper reports up to 67.68% total-runtime improvement."""
+
+from __future__ import annotations
+
+from repro.candle.nt3 import NT3_SPEC
+from repro.experiments import common
+from repro.experiments.base import ExperimentResult
+from repro.experiments.improvement import improvement_experiment
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    counts = common.STRONG_GPUS
+    if fast:
+        counts = common.thin(counts)
+    return improvement_experiment(
+        "fig11",
+        "NT3 on Summit: original vs optimized (paper Fig 11 + Table 5 context)",
+        NT3_SPEC,
+        "summit",
+        counts,
+        mode="strong",
+        paper_perf_max=67.68,
+        paper_energy_max=55.93,
+        notes='Improvement grows with GPU count as loading dominates.',
+    )

@@ -1,0 +1,29 @@
+"""Figure 13: NT3 original vs optimized on Theta (up to 384 nodes).
+
+Theta's Lustre contention makes parallel loading >4x Summit's, but the
+KNL compute phase is huge (695 s/epoch), so improvements cap lower:
+38.46% time, 32.21% energy."""
+
+from __future__ import annotations
+
+from repro.candle.nt3 import NT3_SPEC
+from repro.experiments import common
+from repro.experiments.base import ExperimentResult
+from repro.experiments.improvement import improvement_experiment
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    counts = common.THETA_NODES
+    if fast:
+        counts = common.thin(counts)
+    return improvement_experiment(
+        "fig13",
+        "NT3 on Theta: performance and energy (paper Fig 13)",
+        NT3_SPEC,
+        "theta",
+        counts,
+        mode="strong",
+        paper_perf_max=38.46,
+        paper_energy_max=32.21,
+        notes='Node-level (PoLiMEr) power: narrow dynamic range, so energy tracks time.',
+    )

@@ -1,0 +1,28 @@
+"""Figure 14: P1B1 original vs optimized on Summit.
+
+P1B1 has the largest files (771 MB + 258 MB) and the biggest win:
+up to 78.25% time and 78% energy in the paper."""
+
+from __future__ import annotations
+
+from repro.candle.p1b1 import P1B1_SPEC
+from repro.experiments import common
+from repro.experiments.base import ExperimentResult
+from repro.experiments.improvement import improvement_experiment
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    counts = (6, 12, 24, 48, 96)
+    if fast:
+        counts = common.thin(counts)
+    return improvement_experiment(
+        "fig14",
+        "P1B1 on Summit: performance and energy (paper Fig 14)",
+        P1B1_SPEC,
+        "summit",
+        counts,
+        mode="strong",
+        paper_perf_max=78.25,
+        paper_energy_max=78.0,
+        notes='Energy deviates from the paper: see EXPERIMENTS.md (their energy tracks runtime ~exactly, implying constant-power accounting).',
+    )

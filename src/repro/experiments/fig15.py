@@ -1,0 +1,25 @@
+"""Figure 15: P1B1 original vs optimized on Theta."""
+
+from __future__ import annotations
+
+from repro.candle.p1b1 import P1B1_SPEC
+from repro.experiments import common
+from repro.experiments.base import ExperimentResult
+from repro.experiments.improvement import improvement_experiment
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    counts = common.THETA_NODES
+    if fast:
+        counts = common.thin(counts)
+    return improvement_experiment(
+        "fig15",
+        "P1B1 on Theta: performance and energy (paper Fig 15)",
+        P1B1_SPEC,
+        "theta",
+        counts,
+        mode="strong",
+        paper_perf_max=45.22,
+        paper_energy_max=41.78,
+        notes='',
+    )

@@ -1,0 +1,25 @@
+"""Figure 16: P1B2 original vs optimized on Summit."""
+
+from __future__ import annotations
+
+from repro.candle.p1b2 import P1B2_SPEC
+from repro.experiments import common
+from repro.experiments.base import ExperimentResult
+from repro.experiments.improvement import improvement_experiment
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    counts = common.STRONG_GPUS
+    if fast:
+        counts = common.thin(counts)
+    return improvement_experiment(
+        "fig16",
+        "P1B2 on Summit: performance and energy (paper Fig 16)",
+        P1B2_SPEC,
+        "summit",
+        counts,
+        mode="strong",
+        paper_perf_max=55.45,
+        paper_energy_max=55.44,
+        notes="Paper's energy saving (55.44%) ~= its perf improvement (55.45%).",
+    )

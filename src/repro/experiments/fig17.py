@@ -1,0 +1,25 @@
+"""Figure 17: P1B2 original vs optimized on Theta."""
+
+from __future__ import annotations
+
+from repro.candle.p1b2 import P1B2_SPEC
+from repro.experiments import common
+from repro.experiments.base import ExperimentResult
+from repro.experiments.improvement import improvement_experiment
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    counts = common.THETA_NODES
+    if fast:
+        counts = common.thin(counts)
+    return improvement_experiment(
+        "fig17",
+        "P1B2 on Theta: performance and energy (paper Fig 17)",
+        P1B2_SPEC,
+        "theta",
+        counts,
+        mode="strong",
+        paper_perf_max=40.72,
+        paper_energy_max=40.95,
+        notes='',
+    )

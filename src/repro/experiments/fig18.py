@@ -1,0 +1,31 @@
+"""Figure 18: NT3 weak scaling (8 epochs/GPU) on up to 3,072 GPUs.
+
+The paper reports 34.23-52.44% time improvement and 22.31-28.59% energy
+saving, with the improvement percentage shrinking as Horovod allreduce
+overhead grows with GPU count."""
+
+from __future__ import annotations
+
+from repro.candle.nt3 import NT3_SPEC
+from repro.experiments import common
+from repro.experiments.base import ExperimentResult
+from repro.experiments.improvement import improvement_experiment
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    counts = common.WEAK_GPUS
+    if fast:
+        counts = common.thin(counts)
+    return improvement_experiment(
+        "fig18",
+        "NT3 weak scaling on Summit, 6-3,072 GPUs (paper Fig 18)",
+        NT3_SPEC,
+        "summit",
+        counts,
+        mode="weak",
+        paper_perf_max=52.44,
+        paper_energy_max=28.59,
+        paper_perf_min=34.23,
+        paper_energy_min=22.31,
+        notes='Allreduce overhead grows with GPU count, diluting the loading win.',
+    )

@@ -1,0 +1,28 @@
+"""Figure 20: P1B1 weak scaling (8 epochs/GPU): 75.24-79.50% time,
+69.70-77.11% energy in the paper."""
+
+from __future__ import annotations
+
+from repro.candle.p1b1 import P1B1_SPEC
+from repro.experiments import common
+from repro.experiments.base import ExperimentResult
+from repro.experiments.improvement import improvement_experiment
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    counts = common.WEAK_GPUS
+    if fast:
+        counts = common.thin(counts)
+    return improvement_experiment(
+        "fig20",
+        "P1B1 weak scaling on Summit (paper Fig 20)",
+        P1B1_SPEC,
+        "summit",
+        counts,
+        mode="weak",
+        paper_perf_max=79.5,
+        paper_energy_max=77.11,
+        paper_perf_min=75.24,
+        paper_energy_min=69.7,
+        notes='Energy deviates from the paper: see EXPERIMENTS.md.',
+    )

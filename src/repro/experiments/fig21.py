@@ -1,0 +1,28 @@
+"""Figure 21: P1B2 weak scaling (8 epochs/GPU): 48.63-56.62% time,
+45.86-53.91% energy in the paper."""
+
+from __future__ import annotations
+
+from repro.candle.p1b2 import P1B2_SPEC
+from repro.experiments import common
+from repro.experiments.base import ExperimentResult
+from repro.experiments.improvement import improvement_experiment
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    counts = common.WEAK_GPUS
+    if fast:
+        counts = common.thin(counts)
+    return improvement_experiment(
+        "fig21",
+        "P1B2 weak scaling on Summit (paper Fig 21)",
+        P1B2_SPEC,
+        "summit",
+        counts,
+        mode="weak",
+        paper_perf_max=56.62,
+        paper_energy_max=53.91,
+        paper_perf_min=48.63,
+        paper_energy_min=45.86,
+        notes='',
+    )

@@ -1,0 +1,58 @@
+"""Shared builder for the original-vs-optimized improvement experiments.
+
+Figures 11, 13-17, 20, 21 and §5.4 all show the same comparison — total
+time (and energy) of the original loader vs the chunked loader across a
+worker-count sweep — differing only in benchmark, machine, and scaling
+mode. This builder produces their common result structure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.candle.base import BenchmarkSpec
+from repro.experiments import common
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["improvement_experiment"]
+
+
+def improvement_experiment(
+    experiment_id: str,
+    title: str,
+    spec: BenchmarkSpec,
+    machine: str,
+    counts: Sequence[int],
+    mode: str = "strong",
+    paper_perf_max: Optional[float] = None,
+    paper_energy_max: Optional[float] = None,
+    paper_perf_min: Optional[float] = None,
+    paper_energy_min: Optional[float] = None,
+    notes: str = "",
+) -> ExperimentResult:
+    comparisons = common.comparison_sweep(spec, machine, counts, mode=mode)
+    rows = [c.as_row() for c in comparisons]
+    perf = [c.performance_improvement_pct for c in comparisons]
+    energy = [c.energy_saving_pct for c in comparisons]
+    claims: dict[str, float] = {}
+    measured: dict[str, float] = {}
+    if paper_perf_max is not None:
+        claims["max perf improvement %"] = paper_perf_max
+        measured["max perf improvement %"] = max(perf)
+    if paper_energy_max is not None:
+        claims["max energy saving %"] = paper_energy_max
+        measured["max energy saving %"] = max(energy)
+    if paper_perf_min is not None:
+        claims["min perf improvement %"] = paper_perf_min
+        measured["min perf improvement %"] = min(perf)
+    if paper_energy_min is not None:
+        claims["min energy saving %"] = paper_energy_min
+        measured["min energy saving %"] = min(energy)
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        panels={"": rows},
+        paper_claims=claims,
+        measured=measured,
+        notes=notes,
+    )

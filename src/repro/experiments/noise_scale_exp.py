@@ -1,0 +1,88 @@
+"""Extension: gradient-noise-scale rationale for the batch decisions.
+
+§2.3.2 decides by sample count: "We keep the batch size constant for
+NT3, P1B1, and P1B2 because of the small number of samples, and we
+scale the batch size for P1B3 because of the large number of samples"
+— and cites McCandlish et al. [20]. This experiment computes what [20]
+actually prescribes: the gradient noise scale B_noise per benchmark
+(at reduced scale, real gradients). The prediction that must hold:
+P1B3's default batch sits far *below* its B_noise (so scaling it up is
+nearly free — Fig 10's linear scaling works), while NT3's default batch
+is already near its B_noise (so batch 40 already costs accuracy —
+Fig 6b's observation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.noise_scale import estimate_noise_scale
+from repro.candle import get_benchmark
+from repro.experiments.base import ExperimentResult
+
+
+def _estimate_for(name: str, scale: float, sample_scale: float, train_epochs: int, seed: int = 4):
+    bench = get_benchmark(name, scale=scale, sample_scale=sample_scale)
+    data = bench.synth_arrays(np.random.default_rng(seed))
+    model = bench.build_model(seed=seed)
+    loss = (
+        "categorical_crossentropy"
+        if bench.spec.task == "classification"
+        else "mse"
+    )
+    model.compile(bench.spec.optimizer, loss, lr=bench.spec.learning_rate)
+    # measure after a little training: at init the loss surface is
+    # atypical and the noise scale unstable
+    model.fit(
+        data.x_train, data.y_train,
+        batch_size=bench.effective_batch_size(), epochs=train_epochs,
+    )
+    n = len(data.x_train)
+    b_small = max(2, n // 64)
+    b_big = max(b_small * 8, n // 4)
+    est = estimate_noise_scale(
+        model, data.x_train, data.y_train, b_small, min(b_big, n), draws=8
+    )
+    return bench, est
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    rows = []
+    estimates = {}
+    configs = {
+        "nt3": dict(scale=0.004, sample_scale=0.5, train_epochs=2 if fast else 4),
+        "p1b3": dict(scale=0.05, sample_scale=0.02, train_epochs=1),
+    }
+    for name, cfg in configs.items():
+        bench, est = _estimate_for(name, **cfg)
+        estimates[bench.spec.name] = (bench, est)
+        rows.append(
+            {
+                "benchmark": bench.spec.name,
+                "train_samples": bench.train_samples,
+                "default_batch": bench.spec.batch_size,
+                "B_noise": round(est.b_noise, 1),
+                "batch/B_noise": round(bench.spec.batch_size / max(est.b_noise, 1e-9), 3),
+                "verdict": est.verdict(bench.spec.batch_size),
+            }
+        )
+
+    nt3_bench, nt3_est = estimates["NT3"]
+    p1b3_bench, p1b3_est = estimates["P1B3"]
+    nt3_ratio = nt3_bench.spec.batch_size / max(nt3_est.b_noise, 1e-9)
+    p1b3_ratio = p1b3_bench.spec.batch_size / max(p1b3_est.b_noise, 1e-9)
+    return ExperimentResult(
+        experiment_id="noise_scale",
+        title="Gradient noise scale vs the paper's batch decisions (ref [20])",
+        panels={"": rows},
+        paper_claims={
+            "P1B3 default batch sits further below B_noise than NT3's": 1.0,
+        },
+        measured={
+            "P1B3 default batch sits further below B_noise than NT3's": float(
+                p1b3_ratio < nt3_ratio
+            ),
+        },
+        notes="Computed with real gradients at reduced scale; ratios, not "
+        "absolute B_noise values, carry the claim.",
+    )

@@ -1,0 +1,59 @@
+"""§5.4: P1B3 sees only ~6.50% improvement from the optimized loader.
+
+"We expect this small performance improvement because of the small
+data-loading improvement for the data sample type" — P1B3's file is
+narrow-row, so the low_memory block-management pathology never fires,
+and the fix has little to bite on. Run with the paper's cubic-root
+batch scaling, as §5.4 does.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.energy import compare_runs
+from repro.candle.p1b3 import P1B3_SPEC
+from repro.core.scaling import strong_scaling_plan
+from repro.experiments.base import ExperimentResult
+from repro.sim.runner import ScaledRunSimulator
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    counts = (6, 48, 96) if fast else (6, 12, 24, 48, 96)
+    rows = []
+    best = 0.0
+    for machine in ("summit", "theta"):
+        sim = ScaledRunSimulator(machine)
+        for n in counts:
+            plan = strong_scaling_plan(P1B3_SPEC, n, batch_strategy="cubic")
+            orig = sim.run(P1B3_SPEC, plan, method="original", keep_profiles=False)
+            opt = sim.run(P1B3_SPEC, plan, method="chunked", keep_profiles=False)
+            comp = compare_runs(orig, opt)
+            if machine == "summit":
+                best = max(best, comp.performance_improvement_pct)
+            rows.append(
+                {
+                    "machine": machine,
+                    "workers": n,
+                    "orig_total_s": round(orig.total_s, 1),
+                    "opt_total_s": round(opt.total_s, 1),
+                    "perf_improvement_pct": round(comp.performance_improvement_pct, 2),
+                }
+            )
+    return ExperimentResult(
+        experiment_id="p1b3_opt",
+        title="P1B3 with the optimized loader (paper §5.4)",
+        panels={"": rows},
+        paper_claims={
+            "improvement small (< 7%)": 1.0,
+            "max perf improvement % (Summit)": 6.50,
+        },
+        measured={
+            "improvement small (< 7%)": float(best < 7.0),
+            "max perf improvement % (Summit)": round(best, 2),
+        },
+        notes=(
+            "Narrow-row files gain little: the fix targets wide-row block "
+            "costs. The paper's 6.50% figure is not reconstructible from its "
+            "own Table 3 deltas (0.75 s of loading saved) against any full "
+            "P1B3 runtime; we reproduce the qualitative claim (small gain)."
+        ),
+    )

@@ -1,0 +1,82 @@
+"""Extension: the parallel methodology applied to Pilot2/Pilot3.
+
+§1: "This parallelization method can be applied to other CANDLE
+benchmarks such as the P2 and P3 benchmarks in a similar way." The
+paper never shows it; this experiment does — the P2B1 molecular
+autoencoder and P3B1 report classifier run through the *same* scaling
+plans, Horovod runner, and simulator, unchanged:
+
+- panel a: simulated strong scaling + optimized-loader improvement;
+- panel b: real 2-worker training with rank-consistent results and
+  decreasing loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.energy import compare_runs
+from repro.candle import get_benchmark
+from repro.core.parallel import run_parallel_benchmark
+from repro.core.scaling import strong_scaling_plan
+from repro.experiments.base import ExperimentResult
+from repro.sim.runner import ScaledRunSimulator
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    sim = ScaledRunSimulator("summit")
+    sim_rows = []
+    for name in ("p2b1", "p3b1"):
+        spec = get_benchmark(name).spec
+        for n in (6, 24, 96):
+            plan = strong_scaling_plan(spec, n)
+            orig = sim.run(spec, plan, method="original", keep_profiles=False)
+            opt = sim.run(spec, plan, method="chunked", keep_profiles=False)
+            comp = compare_runs(orig, opt)
+            sim_rows.append(
+                {
+                    "benchmark": spec.name,
+                    "workers": n,
+                    "orig_total_s": round(orig.total_s, 1),
+                    "opt_total_s": round(opt.total_s, 1),
+                    "perf_impr_pct": round(comp.performance_improvement_pct, 1),
+                }
+            )
+
+    func_rows = []
+    consistent = True
+    learned = True
+    for name, scale, ss in (("p2b1", 0.05, 0.05), ("p3b1", 0.2, 0.1)):
+        bench = get_benchmark(name, scale=scale, sample_scale=ss)
+        plan = strong_scaling_plan(bench.spec, 2, total_epochs=8 if fast else 16)
+        res = run_parallel_benchmark(bench, plan, seed=5)
+        losses = [r.eval_metrics["loss"] for r in res.ranks]
+        hist = res.history["loss"]
+        consistent &= max(losses) - min(losses) < 1e-9
+        learned &= hist[-1] < hist[0]
+        func_rows.append(
+            {
+                "benchmark": bench.spec.name,
+                "workers": 2,
+                "epochs_per_worker": plan.epochs_per_worker,
+                "first_loss": round(hist[0], 4),
+                "final_loss": round(hist[-1], 4),
+                "ranks_consistent": max(losses) - min(losses) < 1e-9,
+            }
+        )
+
+    return ExperimentResult(
+        experiment_id="p2p3_extension",
+        title="P2/P3 benchmarks under the same methodology (paper §1 claim)",
+        panels={"a: simulated scaling": sim_rows, "b: real parallel training": func_rows},
+        paper_claims={
+            "methodology applies unchanged (consistent ranks)": 1.0,
+            "parallel training still learns": 1.0,
+        },
+        measured={
+            "methodology applies unchanged (consistent ranks)": float(consistent),
+            "parallel training still learns": float(learned),
+        },
+        notes="P2B1/P3B1 are extensions built for this claim; their specs are "
+        "CANDLE-shaped but not part of the paper's Table 1.",
+    )

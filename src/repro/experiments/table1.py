@@ -1,0 +1,26 @@
+"""Table 1: epochs, batch size, data samples, and file sizes per benchmark."""
+
+from __future__ import annotations
+
+from repro.candle.registry import all_benchmarks
+from repro.experiments.base import ExperimentResult
+
+PAPER_STEPS_PER_EPOCH = {"NT3": 56, "P1B1": 27, "P1B2": 45, "P1B3": 9001}
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    rows = [b.describe() for b in all_benchmarks()]
+    measured = {
+        f"{r['benchmark']} steps/epoch": float(r["steps_per_epoch"]) for r in rows
+    }
+    claims = {
+        f"{name} steps/epoch": float(v) for name, v in PAPER_STEPS_PER_EPOCH.items()
+    }
+    return ExperimentResult(
+        experiment_id="table1",
+        title="CANDLE P1 benchmark characteristics (paper Table 1)",
+        panels={"": rows},
+        paper_claims=claims,
+        measured=measured,
+        notes="Derived batch steps per epoch must equal the paper's §2.1 values.",
+    )

@@ -1,0 +1,66 @@
+"""Table 6: NT3 weak scaling — accuracy, time/epoch, average GPU power.
+
+Paper claims carried by this table:
+
+- training accuracy stays ~1.0 at 8 epochs/GPU regardless of worker
+  count (both original and optimized — the fix is I/O-only);
+- time/epoch grows from 10.30 s (sequential) to >3x on 3,072 GPUs,
+  "caused mainly by the allreduce operations using NCCL_Allreduce";
+- the optimized runs show higher average GPU power (less low-power
+  loading time).
+"""
+
+from __future__ import annotations
+
+from repro.candle.nt3 import NT3_SPEC
+from repro.experiments import common
+from repro.experiments.base import ExperimentResult
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    counts = (6, 96, 768, 3072) if fast else common.WEAK_GPUS
+    comparisons = common.comparison_sweep(NT3_SPEC, "summit", counts, mode="weak")
+    reports = common.sim_sweep(NT3_SPEC, "summit", counts, mode="weak")
+    rows = []
+    for n, comp, rep in zip(counts, comparisons, reports):
+        rows.append(
+            {
+                "gpus": n,
+                "time_per_epoch_s": round(rep.time_per_epoch_s, 2),
+                "orig_power_w": round(comp.original_power_w, 1),
+                "opt_power_w": round(comp.optimized_power_w, 1),
+            }
+        )
+
+    # accuracy at 8 epochs/GPU is worker-count independent in expectation;
+    # verify with real training at two nominal counts
+    acc_rows = []
+    for n in (6, 3072) if fast else (6, 96, 768, 3072):
+        m = common.accuracy_point(
+            "nt3", n, epochs_per_worker=8, scale=0.004 if fast else 0.008
+        )
+        acc_rows.append(
+            {"gpus": n, "epochs_per_gpu": 8, "accuracy": round(m.get("accuracy", 0.0), 3)}
+        )
+
+    per_epoch_seq = 10.29  # calibrated 1-GPU value
+    per_epoch_3072 = rows[-1]["time_per_epoch_s"]
+    return ExperimentResult(
+        experiment_id="table6",
+        title="NT3 weak scaling: accuracy, time/epoch, GPU power (paper Table 6)",
+        panels={"time & power": rows, "accuracy (8 epochs/GPU)": acc_rows},
+        paper_claims={
+            "time/epoch at 3072 > 3x sequential": 1.0,
+            "accuracy ~1.0 at 8 epochs/GPU": 1.0,
+            "optimized power > original": 1.0,
+        },
+        measured={
+            "time/epoch at 3072 > 3x sequential": float(
+                per_epoch_3072 > 3 * per_epoch_seq
+            ),
+            "accuracy ~1.0 at 8 epochs/GPU": min(r["accuracy"] for r in acc_rows),
+            "optimized power > original": float(
+                all(r["opt_power_w"] > r["orig_power_w"] for r in rows)
+            ),
+        },
+    )

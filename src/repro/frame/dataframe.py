@@ -1,0 +1,280 @@
+"""A minimal column-oriented DataFrame.
+
+Just enough of the pandas surface for the CANDLE benchmarks: column
+access, ``.values``, row slicing, ``concat`` (the optimized loader's
+final step), ``astype``, and ``describe``-style introspection. Columns
+are NumPy arrays; there is no index object — rows are positional,
+matching the ``ignore_index=True`` concat the paper's fix uses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.frame.dtypes import cast_to, dtype_of_array, promote
+
+__all__ = ["DataFrame", "concat"]
+
+
+class DataFrame:
+    """Column-oriented frame: ordered mapping of name → 1-D array."""
+
+    def __init__(self, data: Mapping[object, np.ndarray] | None = None):
+        self._columns: dict = {}
+        nrows = None
+        for name, values in (data or {}).items():
+            arr = np.asarray(values)
+            if arr.ndim != 1:
+                raise ValueError(f"column {name!r} must be 1-D, got {arr.ndim}-D")
+            if nrows is None:
+                nrows = len(arr)
+            elif len(arr) != nrows:
+                raise ValueError(
+                    f"column {name!r} has {len(arr)} rows, expected {nrows}"
+                )
+            self._columns[name] = arr
+        self._nrows = nrows or 0
+
+    # -- construction helpers ---------------------------------------------
+    @classmethod
+    def from_arrays(cls, arrays: Sequence[np.ndarray], names: Sequence | None = None) -> "DataFrame":
+        """Build from a list of column arrays with optional names."""
+        names = list(names) if names is not None else list(range(len(arrays)))
+        if len(names) != len(arrays):
+            raise ValueError("names and arrays must have equal length")
+        return cls(dict(zip(names, arrays)))
+
+    @classmethod
+    def from_matrix(cls, matrix: np.ndarray, names: Sequence | None = None) -> "DataFrame":
+        """Build from a 2-D array, one column per matrix column."""
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2:
+            raise ValueError(f"expected 2-D matrix, got {matrix.ndim}-D")
+        names = list(names) if names is not None else list(range(matrix.shape[1]))
+        return cls({n: matrix[:, j].copy() for j, n in enumerate(names)})
+
+    # -- basic protocol ------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self._nrows, len(self._columns))
+
+    @property
+    def columns(self) -> list:
+        return list(self._columns)
+
+    @property
+    def dtypes(self) -> dict:
+        return {n: dtype_of_array(a) for n, a in self._columns.items()}
+
+    def __len__(self) -> int:
+        return self._nrows
+
+    def __contains__(self, name) -> bool:
+        return name in self._columns
+
+    def __getitem__(self, key):
+        """Column by name, or a sub-frame for a list of names."""
+        if isinstance(key, list):
+            missing = [k for k in key if k not in self._columns]
+            if missing:
+                raise KeyError(f"columns not found: {missing}")
+            return DataFrame({k: self._columns[k] for k in key})
+        try:
+            return self._columns[key]
+        except KeyError:
+            raise KeyError(f"column {key!r} not found") from None
+
+    def __setitem__(self, name, values) -> None:
+        arr = np.asarray(values)
+        if arr.ndim == 0:
+            arr = np.full(self._nrows, values)
+        if self._columns and len(arr) != self._nrows:
+            raise ValueError(
+                f"column length {len(arr)} != frame length {self._nrows}"
+            )
+        if not self._columns:
+            self._nrows = len(arr)
+        self._columns[name] = arr
+
+    # -- selection -------------------------------------------------------------
+    def iloc(self, rows) -> "DataFrame":
+        """Positional row selection (slice, index array, or boolean mask)."""
+        return DataFrame({n: a[rows] for n, a in self._columns.items()})
+
+    def head(self, n: int = 5) -> "DataFrame":
+        return self.iloc(slice(0, n))
+
+    def drop(self, columns: Iterable) -> "DataFrame":
+        """Return a frame without the given columns."""
+        drop = set(columns if not isinstance(columns, (str, int)) else [columns])
+        missing = drop - set(self._columns)
+        if missing:
+            raise KeyError(f"columns not found: {sorted(missing, key=str)}")
+        return DataFrame({n: a for n, a in self._columns.items() if n not in drop})
+
+    # -- conversion -------------------------------------------------------------
+    @property
+    def values(self) -> np.ndarray:
+        """2-D array; columns are promoted to a common dtype."""
+        return self.to_numpy()
+
+    def to_numpy(self, dtype=None) -> np.ndarray:
+        if not self._columns:
+            return np.empty((0, 0))
+        if dtype is None:
+            common = "int64"
+            for a in self._columns.values():
+                common = promote(common, dtype_of_array(a))
+            cols = [cast_to(a, common) for a in self._columns.values()]
+        else:
+            cols = [a.astype(dtype) for a in self._columns.values()]
+        return np.column_stack(cols)
+
+    def astype(self, dtype) -> "DataFrame":
+        """Cast every column to a NumPy dtype."""
+        return DataFrame({n: a.astype(dtype) for n, a in self._columns.items()})
+
+    def memory_usage(self) -> int:
+        """Total bytes held by column buffers."""
+        return int(sum(a.nbytes for a in self._columns.values()))
+
+    def to_csv(self, path, header: bool = False, float_fmt: str = "%.6g") -> int:
+        """Write the frame to a CSV file; returns bytes written."""
+        from repro.frame.writer import write_csv
+
+        return write_csv(
+            path,
+            self.to_numpy(),
+            header=[str(c) for c in self.columns] if header else None,
+            float_fmt=float_fmt,
+        )
+
+    # -- statistics ----------------------------------------------------------
+    def describe(self) -> "DataFrame":
+        """Per-numeric-column summary: count, mean, std, min, max.
+
+        Returned as a frame whose first column names the statistic.
+        """
+        numeric = [
+            n for n, a in self._columns.items() if a.dtype.kind in "iuf"
+        ]
+        if not numeric:
+            raise ValueError("no numeric columns to describe")
+        stats = {"stat": np.array(["count", "mean", "std", "min", "max"], dtype=object)}
+        for n in numeric:
+            col = self._columns[n].astype(np.float64)
+            finite = col[np.isfinite(col)]
+            if finite.size:
+                values = [
+                    float(finite.size),
+                    float(finite.mean()),
+                    float(finite.std()),
+                    float(finite.min()),
+                    float(finite.max()),
+                ]
+            else:
+                values = [0.0, np.nan, np.nan, np.nan, np.nan]
+            stats[n] = np.array(values)
+        return DataFrame(stats)
+
+    def isna(self) -> "DataFrame":
+        """Boolean mask of missing values (NaN in float/object columns)."""
+        out = {}
+        for n, a in self._columns.items():
+            if a.dtype.kind == "f":
+                out[n] = np.isnan(a)
+            elif a.dtype == object:
+                out[n] = np.array(
+                    [isinstance(v, float) and np.isnan(v) for v in a]
+                )
+            else:
+                out[n] = np.zeros(len(a), dtype=bool)
+        return DataFrame(out)
+
+    def fillna(self, value: float) -> "DataFrame":
+        """Replace NaNs with ``value`` (float and object columns)."""
+        out = {}
+        for n, a in self._columns.items():
+            if a.dtype.kind == "f":
+                col = a.copy()
+                col[np.isnan(col)] = value
+                out[n] = col
+            elif a.dtype == object:
+                out[n] = np.array(
+                    [
+                        value if isinstance(v, float) and np.isnan(v) else v
+                        for v in a
+                    ],
+                    dtype=object,
+                )
+            else:
+                out[n] = a
+        return DataFrame(out)
+
+    def dropna(self) -> "DataFrame":
+        """Drop rows containing any missing value."""
+        mask = ~np.any(self.isna().to_numpy(dtype=bool), axis=1)
+        return self.iloc(mask)
+
+    def sample(self, n: int, rng: Optional[np.random.Generator] = None) -> "DataFrame":
+        """``n`` rows drawn without replacement (seeded via ``rng``)."""
+        if not 0 < n <= self._nrows:
+            raise ValueError(f"cannot sample {n} rows from {self._nrows}")
+        rng = rng or np.random.default_rng(0)
+        idx = rng.choice(self._nrows, size=n, replace=False)
+        return self.iloc(np.sort(idx))
+
+    def equals(self, other: "DataFrame") -> bool:
+        """Exact equality of column names, order, and values (NaN == NaN)."""
+        if not isinstance(other, DataFrame):
+            return False
+        if self.columns != other.columns or self.shape != other.shape:
+            return False
+        for n in self._columns:
+            a, b = self._columns[n], other._columns[n]
+            if a.dtype == object or b.dtype == object:
+                if not all(_eq(x, y) for x, y in zip(a, b)):
+                    return False
+            elif not np.array_equal(a, b, equal_nan=True):
+                return False
+        return True
+
+    def __repr__(self):
+        return f"<DataFrame {self._nrows} rows x {len(self._columns)} cols>"
+
+
+def _eq(x, y) -> bool:
+    if isinstance(x, float) and isinstance(y, float):
+        return x == y or (np.isnan(x) and np.isnan(y))
+    return x == y
+
+
+def concat(frames: Sequence[DataFrame], axis: int = 0, ignore_index: bool = True) -> DataFrame:
+    """Row-wise concatenation of frames with identical columns.
+
+    This is the tail of the paper's optimized loader:
+    ``pd.concat(chunks, axis=0, ignore_index=True)``. Column dtypes are
+    promoted on the int64 < float64 < object lattice when chunks
+    disagree (the source of pandas's DtypeWarning with low_memory).
+    """
+    if axis != 0:
+        raise NotImplementedError("only axis=0 concatenation is supported")
+    frames = list(frames)
+    if not frames:
+        raise ValueError("cannot concat an empty list of frames")
+    if len(frames) == 1:
+        return frames[0]
+    first_cols = frames[0].columns
+    for f in frames[1:]:
+        if f.columns != first_cols:
+            raise ValueError("all frames must share the same columns, in order")
+    out: dict = {}
+    for name in first_cols:
+        parts = [f[name] for f in frames]
+        common = "int64"
+        for p in parts:
+            common = promote(common, dtype_of_array(p))
+        out[name] = np.concatenate([cast_to(p, common) for p in parts])
+    return DataFrame(out)

@@ -1,0 +1,124 @@
+"""Per-value and per-column dtype inference.
+
+This module is deliberately written at Python speed: it models the
+"object-safe" parsing work a CSV engine does when it cannot assume a
+column's type. The slow ``low_memory=True`` path in
+:mod:`repro.frame.csv` calls :func:`parse_column` per column per
+internal chunk — exactly the cost center the paper identified.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "parse_value",
+    "infer_column_dtype",
+    "parse_column",
+    "promote",
+    "MISSING_TOKENS",
+]
+
+MISSING_TOKENS = frozenset({"", "na", "n/a", "nan", "null", "none", "NA", "N/A", "NaN", "NULL", "None"})
+
+# dtype lattice rank: promotion always moves toward object
+_RANK = {"int64": 0, "float64": 1, "object": 2}
+
+
+def parse_value(token: str):
+    """Parse a single CSV token to int, float, NaN, or str (slowest path).
+
+    Mirrors an object-mode parser: two exception-guarded conversion
+    attempts per value. This is intentionally per-value Python work.
+    """
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    if token in MISSING_TOKENS:
+        return float("nan")
+    return token
+
+
+def infer_column_dtype(tokens: Sequence[str]) -> str:
+    """Infer the narrowest dtype ('int64' | 'float64' | 'object') for tokens."""
+    dtype = "int64"
+    for tok in tokens:
+        if dtype == "int64":
+            try:
+                int(tok)
+                continue
+            except ValueError:
+                dtype = "float64"
+        if dtype == "float64":
+            try:
+                float(tok)
+                continue
+            except ValueError:
+                if tok in MISSING_TOKENS:
+                    continue
+                return "object"
+    return dtype
+
+
+def parse_column(tokens: Sequence[str], dtype: str | None = None) -> np.ndarray:
+    """Convert one column of tokens to an array, value by value.
+
+    When ``dtype`` is None it is inferred first (a full extra pass). This
+    is the ``low_memory=True`` cost model: O(values) Python-level work.
+    """
+    if dtype is None:
+        dtype = infer_column_dtype(tokens)
+    if dtype == "int64":
+        out = np.empty(len(tokens), dtype=np.int64)
+        for i, tok in enumerate(tokens):
+            out[i] = int(tok)
+        return out
+    if dtype == "float64":
+        out_f = np.empty(len(tokens), dtype=np.float64)
+        for i, tok in enumerate(tokens):
+            try:
+                out_f[i] = float(tok)
+            except ValueError:
+                out_f[i] = np.nan
+        return out_f
+    obj = np.empty(len(tokens), dtype=object)
+    for i, tok in enumerate(tokens):
+        obj[i] = parse_value(tok)
+    return obj
+
+
+def promote(a: str, b: str) -> str:
+    """Join two dtypes on the int64 < float64 < object lattice."""
+    for d in (a, b):
+        if d not in _RANK:
+            raise ValueError(f"unknown dtype {d!r}")
+    return a if _RANK[a] >= _RANK[b] else b
+
+
+def dtype_of_array(arr: np.ndarray) -> str:
+    """Classify a NumPy array into the three-dtype lattice."""
+    kind = arr.dtype.kind
+    if kind in "iub":
+        return "int64"
+    if kind == "f":
+        return "float64"
+    return "object"
+
+
+def cast_to(arr: np.ndarray, dtype: str) -> np.ndarray:
+    """Cast an array up the lattice (never narrows)."""
+    current = dtype_of_array(arr)
+    if current == dtype:
+        return arr
+    if _RANK[dtype] < _RANK[current]:
+        raise ValueError(f"refusing to narrow {current} -> {dtype}")
+    if dtype == "float64":
+        return arr.astype(np.float64)
+    return arr.astype(object)

@@ -1,0 +1,66 @@
+"""repro.hvd — a Horovod reimplementation on :mod:`repro.mpi`.
+
+Horovod's public surface, as the paper's methodology (§2.3.2) uses it:
+
+- ``init`` / ``size`` / ``rank`` / ``local_rank`` — rank identity, with
+  ``local_rank`` available for GPU pinning (one GPU per process).
+- ``DistributedOptimizer(opt)`` — "delegates the gradient computation to
+  the original optimizer, averages gradients using the Allreduce, and
+  then applies those averaged gradients."
+- ``BroadcastGlobalVariablesCallback(0)`` — "broadcast initial variable
+  states from rank 0 to all other processes … ensures consistent
+  initialization of all workers."
+- Tensor fusion — "batch small allreduce operations by combining all the
+  tensors that are ready to be reduced at a given moment into one
+  reduction operation" (:class:`repro.hvd.fusion.FusionBuffer`).
+- ``Timeline`` — Chrome-trace recording with the paper's event names
+  (``negotiate_broadcast``, ``mpi_broadcast``, ``negotiate_allreduce``,
+  ``nccl_allreduce``), viewable in ``chrome://tracing``.
+
+Because ranks are threads, the module-level state is thread-local: each
+rank thread calls ``init(comm)`` with its own communicator and sees its
+own rank identity, exactly like per-process Horovod.
+"""
+
+from repro.hvd.callbacks import (
+    BroadcastGlobalVariablesCallback,
+    CheckpointCallback,
+    MetricAverageCallback,
+    resume_from_checkpoint,
+)
+from repro.hvd.fusion import DEFAULT_FUSION_BYTES, FusionBuffer
+from repro.hvd.optimizer import DistributedOptimizer
+from repro.hvd.ops import allgather, allreduce, broadcast, broadcast_weights
+from repro.hvd.runtime import (
+    init,
+    is_initialized,
+    local_rank,
+    rank,
+    shutdown,
+    size,
+    timeline,
+)
+from repro.hvd.timeline import Timeline, TimelineEvent
+
+__all__ = [
+    "init",
+    "shutdown",
+    "is_initialized",
+    "size",
+    "rank",
+    "local_rank",
+    "timeline",
+    "allreduce",
+    "allgather",
+    "broadcast",
+    "broadcast_weights",
+    "DistributedOptimizer",
+    "BroadcastGlobalVariablesCallback",
+    "CheckpointCallback",
+    "MetricAverageCallback",
+    "resume_from_checkpoint",
+    "FusionBuffer",
+    "DEFAULT_FUSION_BYTES",
+    "Timeline",
+    "TimelineEvent",
+]

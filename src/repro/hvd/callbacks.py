@@ -1,0 +1,121 @@
+"""Keras-side Horovod callbacks.
+
+``BroadcastGlobalVariablesCallback(0)`` is the paper's
+``hvd.BroadcastGlobalVariablesHook(0)``: added to the model's callback
+list, it broadcasts rank 0's weights to every rank at the start of
+training, "ensuring consistent initialization of all workers when
+training is started with random weights."
+
+``CheckpointCallback`` implements the paper's stated future work
+("checkpoint/restart features … for fault tolerance"): rank 0 writes a
+full model+optimizer checkpoint every N epochs, and
+:func:`resume_from_checkpoint` restores it and re-broadcasts so every
+rank resumes consistently.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.hvd import ops as _ops
+from repro.hvd import runtime as _rt
+from repro.nn.callbacks import Callback
+from repro.nn.serialization import load_checkpoint, save_checkpoint
+
+__all__ = [
+    "BroadcastGlobalVariablesCallback",
+    "MetricAverageCallback",
+    "CheckpointCallback",
+    "resume_from_checkpoint",
+]
+
+
+class BroadcastGlobalVariablesCallback(Callback):
+    """Broadcast initial weights from ``root`` on train begin."""
+
+    def __init__(self, root: int = 0):
+        super().__init__()
+        if root < 0:
+            raise ValueError(f"root rank must be non-negative, got {root}")
+        self.root = root
+        self.broadcast_done = False
+
+    def on_train_begin(self, logs=None):
+        if _rt.size() > 1:
+            _ops.broadcast_weights(self.model, root=self.root)
+        self.broadcast_done = True
+
+
+class MetricAverageCallback(Callback):
+    """Average epoch metrics across ranks (hvd.callbacks analog).
+
+    Rewrites each epoch's logs in place with the allreduce mean, so
+    every rank reports the same global metric — used when ranks train
+    on different shards and a single curve is wanted.
+    """
+
+    def on_epoch_end(self, epoch, logs=None):
+        if logs is None or _rt.size() == 1:
+            return
+        keys = sorted(k for k, v in logs.items() if isinstance(v, (int, float)))
+        import numpy as np
+
+        vec = np.array([float(logs[k]) for k in keys])
+        avg = _ops.allreduce(vec, op="mean", name="epoch_metrics")
+        for key, value in zip(keys, avg):
+            logs[key] = float(value)
+
+
+class CheckpointCallback(Callback):
+    """Rank 0 writes a model+optimizer checkpoint every N epochs.
+
+    Only rank 0 writes (the standard Horovod pattern — all ranks hold
+    identical weights after each allreduced step, so one copy suffices).
+    """
+
+    def __init__(self, path: str, every_n_epochs: int = 1, root: int = 0):
+        super().__init__()
+        if every_n_epochs <= 0:
+            raise ValueError(
+                f"every_n_epochs must be positive, got {every_n_epochs}"
+            )
+        self.path = str(path)
+        self.every_n_epochs = int(every_n_epochs)
+        self.root = root
+        self.epochs_written: list[int] = []
+
+    def on_epoch_end(self, epoch, logs=None):
+        if (epoch + 1) % self.every_n_epochs != 0:
+            return
+        if _rt.rank() == self.root:
+            save_checkpoint(self.model, self.path, epoch=epoch)
+        self.epochs_written.append(epoch)
+        if _rt.size() > 1:
+            # barrier so no rank races ahead of a half-written checkpoint
+            _rt.comm().barrier()
+
+
+def resume_from_checkpoint(model, path, root: int = 0) -> Optional[dict]:
+    """Restore a checkpoint on ``root`` and broadcast to every rank.
+
+    Returns the checkpoint metadata (with the epoch to resume from), or
+    None when the file does not exist (fresh start — callers can treat
+    a missing checkpoint as epoch 0).
+    """
+    exists = os.path.exists(path) if _rt.rank() == root else None
+    if _rt.size() > 1:
+        exists = _ops.broadcast(exists, root=root, name="checkpoint_exists")
+    if not exists:
+        return None
+    meta: Optional[dict] = None
+    if _rt.rank() == root:
+        meta = load_checkpoint(model, path)
+    if _rt.size() > 1:
+        meta = _ops.broadcast(meta, root=root, name="checkpoint_meta")
+        _ops.broadcast_weights(model, root=root)
+        # replicate optimizer scalar state so LR schedules line up
+        opt = getattr(model.optimizer, "base", model.optimizer)
+        opt.lr = float(meta["lr"])
+        opt.iterations = int(meta["iterations"])
+    return meta

@@ -1,0 +1,74 @@
+"""DistributedOptimizer: the Horovod gradient-averaging wrapper.
+
+Paper §2.3.2: "Wrap the original optimizer in the Horovod distributed
+optimizer using hvd.DistributedOptimizer(optimizer). The distributed
+optimizer delegates the gradient computation to the original optimizer,
+averages gradients using the Allreduce, and then applies those averaged
+gradients."
+
+Gradients are fused per :class:`repro.hvd.fusion.FusionBuffer` before
+the ring allreduce, so each training step issues one (or a few) large
+reductions rather than one per layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.hvd import ops as _ops
+from repro.hvd import runtime as _rt
+from repro.hvd.fusion import DEFAULT_FUSION_BYTES, FusionBuffer
+from repro.nn.optimizers import Optimizer
+
+__all__ = ["DistributedOptimizer"]
+
+
+class DistributedOptimizer(Optimizer):
+    """Wraps a base optimizer; averages gradients over ranks first."""
+
+    def __init__(self, base: Optimizer, fusion_bytes: int = DEFAULT_FUSION_BYTES):
+        if not isinstance(base, Optimizer):
+            raise TypeError(f"expected an Optimizer, got {type(base)!r}")
+        # Deliberately no super().__init__: lr/decay/state all proxy to base.
+        self.base = base
+        self.fusion = FusionBuffer(fusion_bytes)
+        self.allreduce_count = 0
+
+    # -- learning-rate proxying (LR scaling must reach the base) -----------
+    @property
+    def lr(self) -> float:
+        return self.base.lr
+
+    @lr.setter
+    def lr(self, value: float) -> None:
+        self.base.lr = value
+
+    @property
+    def iterations(self) -> int:
+        return self.base.iterations
+
+    def scale_lr(self, factor: float) -> None:
+        self.base.scale_lr(factor)
+
+    # -- the Horovod step ---------------------------------------------------
+    def apply_gradients(self, params: Dict[str, np.ndarray], grads: Dict[str, np.ndarray]) -> None:
+        """Allreduce-average ``grads`` across ranks, then delegate."""
+        averaged = self.reduce_gradients(grads)
+        self.base.apply_gradients(params, averaged)
+
+    def reduce_gradients(self, grads: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Fused ring-allreduce mean of every gradient tensor."""
+        if _rt.size() == 1:
+            return grads
+        averaged: Dict[str, np.ndarray] = {}
+        for group in self.fusion.plan(grads):
+            fused = FusionBuffer.pack(grads, group)
+            reduced = _ops.allreduce(fused, op="mean", name="+".join(group))
+            self.allreduce_count += 1
+            averaged.update(FusionBuffer.unpack(reduced, grads, group))
+        return averaged
+
+    def __repr__(self):
+        return f"DistributedOptimizer({self.base!r})"

@@ -1,0 +1,101 @@
+"""Horovod runtime state: per-rank (thread-local) context.
+
+Real Horovod is per-process; our ranks are threads, so the module-level
+API (``hvd.size()`` etc.) resolves through ``threading.local``. A rank
+thread calls ``init(comm)`` once (``comm=None`` gives a self-contained
+single-rank world) and ``shutdown()`` when done; :func:`repro.core`'s
+runners handle both ends.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from repro.mpi.communicator import Communicator, _Context
+from repro.hvd.timeline import Timeline
+
+__all__ = [
+    "init",
+    "shutdown",
+    "is_initialized",
+    "size",
+    "rank",
+    "local_rank",
+    "comm",
+    "timeline",
+    "clock",
+]
+
+_tls = threading.local()
+
+
+class _HvdState:
+    def __init__(self, communicator: Communicator, tl: Optional[Timeline]):
+        self.comm = communicator
+        self.timeline = tl if tl is not None else Timeline(origin_s=time.perf_counter())
+        self.t0 = time.perf_counter()
+
+
+def init(communicator: Optional[Communicator] = None, timeline: Optional[Timeline] = None) -> None:
+    """Initialize Horovod for the calling rank thread.
+
+    ``communicator=None`` creates a single-rank world, so serial code
+    using the Horovod API runs unchanged — matching ``horovodrun -np 1``.
+    """
+    if getattr(_tls, "state", None) is not None:
+        raise RuntimeError("hvd.init() called twice on this rank; call shutdown() first")
+    if communicator is None:
+        communicator = Communicator(_Context(1, timeout=60.0), 0)
+    _tls.state = _HvdState(communicator, timeline)
+
+
+def shutdown() -> None:
+    """Tear down this rank's Horovod state."""
+    _tls.state = None
+
+
+def is_initialized() -> bool:
+    return getattr(_tls, "state", None) is not None
+
+
+def _state() -> _HvdState:
+    state = getattr(_tls, "state", None)
+    if state is None:
+        raise RuntimeError("Horovod not initialized on this rank; call hvd.init()")
+    return state
+
+
+def size() -> int:
+    """Number of ranks (hvd.size())."""
+    return _state().comm.size
+
+
+def rank() -> int:
+    """This rank's global index (hvd.rank())."""
+    return _state().comm.rank
+
+
+def local_rank() -> int:
+    """This rank's index within its node (hvd.local_rank()).
+
+    The paper pins ``visible_device_list = str(hvd.local_rank())`` — one
+    GPU per process, 0-5 on a 6-GPU Summit node.
+    """
+    return _state().comm.local_rank
+
+
+def comm() -> Communicator:
+    """The underlying communicator for this rank."""
+    return _state().comm
+
+
+def timeline() -> Timeline:
+    """The shared timeline this rank records into."""
+    return _state().timeline
+
+
+def clock() -> float:
+    """Seconds since this rank initialized (timeline-relative time)."""
+    return time.perf_counter() - _state().t0

@@ -1,0 +1,127 @@
+"""Horovod timeline: Chrome-trace event recording.
+
+"Horovod has the ability to record a timeline of its activity viewed in
+the Chrome browser through chrome://tracing" (paper §4.2.1, Figs 7b, 12,
+19). Event names follow the paper exactly: the broadcast family
+(``negotiate_broadcast``, ``broadcast``, ``mpi_broadcast``) and the
+allreduce family (``negotiate_allreduce``, ``allreduce``,
+``nccl_allreduce``).
+
+The analysis layer (:mod:`repro.analysis.timeline_analysis`) extracts
+the broadcast-overhead number the paper reports (43.72 s → 4.65 s on 384
+GPUs) from these events.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Timeline", "TimelineEvent", "BROADCAST_EVENTS", "ALLREDUCE_EVENTS"]
+
+BROADCAST_EVENTS = ("negotiate_broadcast", "broadcast", "mpi_broadcast")
+ALLREDUCE_EVENTS = ("negotiate_allreduce", "allreduce", "nccl_allreduce")
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One complete ('X' phase) Chrome-trace event."""
+
+    name: str
+    category: str
+    rank: int
+    start_s: float
+    duration_s: float
+    args: dict = field(default_factory=dict)
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    def to_chrome(self) -> dict:
+        """Chrome trace-event-format dict (timestamps in microseconds)."""
+        return {
+            "name": self.name,
+            "cat": self.category,
+            "ph": "X",
+            "pid": 0,
+            "tid": self.rank,
+            "ts": self.start_s * 1e6,
+            "dur": self.duration_s * 1e6,
+            "args": dict(self.args),
+        }
+
+
+class Timeline:
+    """Append-only, thread-safe event log shared by all ranks of a run."""
+
+    def __init__(self, origin_s: float = 0.0):
+        self.origin_s = origin_s
+        self._events: list[TimelineEvent] = []
+        self._lock = threading.Lock()
+
+    def record(
+        self,
+        name: str,
+        rank: int,
+        start_s: float,
+        duration_s: float,
+        category: Optional[str] = None,
+        **args,
+    ) -> TimelineEvent:
+        """Record one event; times are absolute seconds in run time."""
+        if duration_s < 0:
+            raise ValueError(f"negative duration {duration_s} for {name!r}")
+        if category is None:
+            category = (
+                "broadcast"
+                if name in BROADCAST_EVENTS
+                else "allreduce"
+                if name in ALLREDUCE_EVENTS
+                else "misc"
+            )
+        ev = TimelineEvent(
+            name=name,
+            category=category,
+            rank=rank,
+            start_s=start_s - self.origin_s,
+            duration_s=duration_s,
+            args=args,
+        )
+        with self._lock:
+            self._events.append(ev)
+        return ev
+
+    @property
+    def events(self) -> list[TimelineEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def events_named(self, *names: str) -> list[TimelineEvent]:
+        """Events whose name is in ``names``, in record order."""
+        return [e for e in self.events if e.name in names]
+
+    def span(self) -> tuple[float, float]:
+        """(earliest start, latest end) across all events."""
+        evs = self.events
+        if not evs:
+            return (0.0, 0.0)
+        return (min(e.start_s for e in evs), max(e.end_s for e in evs))
+
+    def to_chrome_trace(self) -> dict:
+        """The full chrome://tracing JSON object."""
+        return {
+            "traceEvents": [e.to_chrome() for e in self.events],
+            "displayTimeUnit": "ms",
+        }
+
+    def dump(self, path) -> None:
+        """Write the Chrome trace JSON to ``path``."""
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome_trace(), fh)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)

@@ -1,0 +1,399 @@
+"""The Communicator: point-to-point plus algorithmic collectives.
+
+Each SPMD run shares one :class:`_Context` (mailboxes, barrier, abort
+flag); each rank holds a :class:`Communicator` view of it. Collectives
+are built *on top of* send/recv with the textbook algorithms so the
+communication structure is faithful to MPI/NCCL:
+
+- ``bcast`` — binomial tree (log2 p rounds).
+- ``allreduce`` — ring reduce-scatter + ring allgather for arrays
+  (bandwidth-optimal; the NCCL algorithm), with a tree fallback for
+  non-array payloads.
+- ``allgather`` — ring (p-1 rounds).
+- ``gather``/``scatter``/``reduce`` — root-centric trees.
+
+Every operation increments per-rank counters (calls, bytes) that the
+Horovod timeline and the analysis layer read.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+__all__ = ["Communicator", "Request", "DeadlockError", "AbortError"]
+
+#: Seconds a blocking recv/barrier waits before declaring deadlock.
+DEFAULT_TIMEOUT = 120.0
+
+_POLL_INTERVAL = 0.005
+
+
+class DeadlockError(RuntimeError):
+    """A blocking operation timed out — the rank graph is stuck."""
+
+
+class AbortError(RuntimeError):
+    """Another rank failed; this rank was torn down."""
+
+
+@dataclass
+class OpStats:
+    """Per-rank communication counters."""
+
+    sends: int = 0
+    recvs: int = 0
+    bcasts: int = 0
+    allreduces: int = 0
+    allgathers: int = 0
+    barriers: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+class _Context:
+    """State shared by all ranks of one SPMD run."""
+
+    def __init__(self, size: int, timeout: float):
+        self.size = size
+        self.timeout = timeout
+        self._mailboxes: dict[tuple[int, int, int], queue.Queue] = {}
+        self._mail_lock = threading.Lock()
+        self._barrier = threading.Barrier(size)
+        self.aborted = threading.Event()
+        self.abort_cause: Optional[BaseException] = None
+
+    def mailbox(self, src: int, dst: int, tag: int) -> queue.Queue:
+        key = (src, dst, tag)
+        with self._mail_lock:
+            box = self._mailboxes.get(key)
+            if box is None:
+                box = self._mailboxes[key] = queue.Queue()
+            return box
+
+    def abort(self, cause: BaseException) -> None:
+        if not self.aborted.is_set():
+            self.abort_cause = cause
+            self.aborted.set()
+            self._barrier.abort()
+
+    def barrier_wait(self) -> None:
+        try:
+            self._barrier.wait(timeout=self.timeout)
+        except threading.BrokenBarrierError:
+            if self.aborted.is_set():
+                raise AbortError(f"aborted by peer: {self.abort_cause!r}") from None
+            raise DeadlockError(
+                f"barrier timed out after {self.timeout}s"
+            ) from None
+
+
+def _payload_bytes(obj: Any) -> int:
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (bytes, bytearray, str)):
+        return len(obj)
+    return 64  # flat estimate for small control objects
+
+
+class Request:
+    """Handle for a nonblocking operation (mpi4py Request analog).
+
+    ``test()`` polls without blocking; ``wait()`` blocks until complete
+    and returns the received object (None for sends). Completed
+    requests are idempotent: repeated waits return the same value.
+    """
+
+    def __init__(self, poll: Callable[[], tuple[bool, Any]]):
+        self._poll = poll
+        self._done = False
+        self._value: Any = None
+
+    def test(self) -> bool:
+        """True once the operation has completed (non-blocking)."""
+        if not self._done:
+            done, value = self._poll()
+            if done:
+                self._done, self._value = True, value
+        return self._done
+
+    def wait(self, timeout: Optional[float] = None) -> Any:
+        """Block until complete; returns the payload (None for sends)."""
+        deadline = time.monotonic() + (timeout if timeout is not None else DEFAULT_TIMEOUT)
+        while not self.test():
+            if time.monotonic() > deadline:
+                raise DeadlockError("request wait timed out")
+            time.sleep(_POLL_INTERVAL)
+        return self._value
+
+    @staticmethod
+    def waitall(requests: "list[Request]", timeout: Optional[float] = None) -> list:
+        """Wait on every request; returns their payloads in order."""
+        return [r.wait(timeout=timeout) for r in requests]
+
+
+class Communicator:
+    """One rank's handle on the SPMD run (MPI_COMM_WORLD analog)."""
+
+    def __init__(self, context: _Context, rank: int, local_size: int = 1):
+        if not 0 <= rank < context.size:
+            raise ValueError(f"rank {rank} out of range for size {context.size}")
+        self._context = context
+        self.rank = rank
+        self.size = context.size
+        #: ranks per node — local_rank mirrors hvd.local_rank(), which the
+        #: paper uses to pin one GPU per process (6 per Summit node).
+        self.local_size = max(1, local_size)
+        self.stats = OpStats()
+
+    # -- local topology -----------------------------------------------------
+    @property
+    def local_rank(self) -> int:
+        return self.rank % self.local_size
+
+    @property
+    def node_index(self) -> int:
+        return self.rank // self.local_size
+
+    # -- point-to-point -------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Buffered send (never blocks)."""
+        self._check_peer(dest)
+        self._check_alive()
+        self._context.mailbox(self.rank, dest, tag).put(obj)
+        self.stats.sends += 1
+        self.stats.bytes_sent += _payload_bytes(obj)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Blocking receive with deadlock detection."""
+        self._check_peer(source)
+        box = self._context.mailbox(source, self.rank, tag)
+        deadline = time.monotonic() + self._context.timeout
+        while True:
+            self._check_alive()
+            try:
+                obj = box.get(timeout=_POLL_INTERVAL)
+                break
+            except queue.Empty:
+                if time.monotonic() > deadline:
+                    raise DeadlockError(
+                        f"rank {self.rank} recv from {source} tag {tag} "
+                        f"timed out after {self._context.timeout}s"
+                    ) from None
+        self.stats.recvs += 1
+        self.stats.bytes_received += _payload_bytes(obj)
+        return obj
+
+    def sendrecv(self, obj: Any, dest: int, source: int, tag: int = 0) -> Any:
+        """Simultaneous send+recv (ring building block)."""
+        self.send(obj, dest, tag)
+        return self.recv(source, tag)
+
+    # -- nonblocking point-to-point ------------------------------------------
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking send; the buffered send completes immediately."""
+        self.send(obj, dest, tag)
+        return Request(lambda: (True, None))
+
+    def irecv(self, source: int, tag: int = 0) -> Request:
+        """Nonblocking receive; complete via ``request.wait()``/``test()``."""
+        self._check_peer(source)
+        box = self._context.mailbox(source, self.rank, tag)
+
+        def poll() -> tuple[bool, Any]:
+            self._check_alive()
+            try:
+                obj = box.get_nowait()
+            except queue.Empty:
+                return False, None
+            self.stats.recvs += 1
+            self.stats.bytes_received += _payload_bytes(obj)
+            return True, obj
+
+        return Request(poll)
+
+    # -- collectives ------------------------------------------------------------
+    def barrier(self) -> None:
+        """Block until every rank arrives."""
+        self.stats.barriers += 1
+        self._context.barrier_wait()
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Binomial-tree broadcast; returns the root's object everywhere."""
+        self._check_peer(root)
+        self.stats.bcasts += 1
+        vrank = (self.rank - root) % self.size
+        mask = 1
+        data = obj if self.rank == root else None
+        while mask < self.size:
+            if vrank < mask:
+                peer = vrank + mask
+                if peer < self.size:
+                    self.send(data, (peer + root) % self.size, tag=-1)
+            elif vrank < 2 * mask:
+                data = self.recv((vrank - mask + root) % self.size, tag=-1)
+            mask <<= 1
+        return data
+
+    def allreduce(self, value: Any, op: str = "sum") -> Any:
+        """Allreduce; ring algorithm for float arrays, tree otherwise.
+
+        ``op`` is ``'sum'``, ``'mean'``, ``'max'``, or ``'min'``. Arrays
+        are reduced with the NCCL-style ring (reduce-scatter + allgather)
+        whenever they are large enough to chunk; scalars and small arrays
+        go through a gather-to-root + broadcast tree.
+        """
+        if op not in ("sum", "mean", "max", "min"):
+            raise ValueError(f"unsupported allreduce op {op!r}")
+        self.stats.allreduces += 1
+        if isinstance(value, np.ndarray) and value.size >= self.size and self.size > 1:
+            return self._ring_allreduce(value, op)
+        return self._tree_allreduce(value, op)
+
+    def allgather(self, obj: Any) -> list:
+        """Ring allgather; returns the rank-ordered list everywhere."""
+        self.stats.allgathers += 1
+        gathered: list = [None] * self.size
+        gathered[self.rank] = obj
+        if self.size == 1:
+            return gathered
+        right = (self.rank + 1) % self.size
+        left = (self.rank - 1) % self.size
+        carry_idx = self.rank
+        for _ in range(self.size - 1):
+            self.send((carry_idx, gathered[carry_idx]), right, tag=-2)
+            carry_idx, payload = self.recv(left, tag=-2)
+            gathered[carry_idx] = payload
+        return gathered
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[list]:
+        """Gather to root; returns the list at root, None elsewhere."""
+        self._check_peer(root)
+        if self.rank == root:
+            out = [None] * self.size
+            out[root] = obj
+            for src in range(self.size):
+                if src != root:
+                    idx, payload = self.recv(src, tag=-3)
+                    out[idx] = payload
+            return out
+        self.send((self.rank, obj), root, tag=-3)
+        return None
+
+    def scatter(self, values: Optional[list], root: int = 0) -> Any:
+        """Scatter a list from root; returns this rank's element."""
+        self._check_peer(root)
+        if self.rank == root:
+            if values is None or len(values) != self.size:
+                raise ValueError(
+                    f"scatter needs a list of exactly {self.size} items at root"
+                )
+            for dst in range(self.size):
+                if dst != root:
+                    self.send(values[dst], dst, tag=-4)
+            return values[root]
+        return self.recv(root, tag=-4)
+
+    def reduce(self, value: Any, op: str = "sum", root: int = 0) -> Any:
+        """Reduce to root; returns the result at root, None elsewhere."""
+        gathered = self.gather(value, root=root)
+        if self.rank != root:
+            return None
+        return _combine(gathered, op)
+
+    # -- ring allreduce ---------------------------------------------------------
+    def _ring_allreduce(self, array: np.ndarray, op: str) -> np.ndarray:
+        """Bandwidth-optimal ring: reduce-scatter then allgather.
+
+        The array is split into ``size`` chunks; each of the 2(p-1) steps
+        moves one chunk to the right neighbour. This is the algorithm
+        Horovod inherited from baidu-allreduce and that NCCL implements.
+        """
+        p = self.size
+        flat = np.ascontiguousarray(array, dtype=np.float64).reshape(-1)
+        bounds = np.linspace(0, flat.size, p + 1).astype(np.int64)
+        chunks = [flat[bounds[i] : bounds[i + 1]].copy() for i in range(p)]
+        right = (self.rank + 1) % p
+        left = (self.rank - 1) % p
+
+        # reduce-scatter: after p-1 steps, rank r owns the full reduction
+        # of chunk (r+1) % p
+        send_idx = self.rank
+        for _ in range(p - 1):
+            self.send(chunks[send_idx], right, tag=-5)
+            recv_idx = (send_idx - 1) % p
+            incoming = self.recv(left, tag=-5)
+            _accumulate(chunks[recv_idx], incoming, op)
+            send_idx = recv_idx
+
+        # allgather: circulate the completed chunks
+        send_idx = (self.rank + 1) % p
+        for _ in range(p - 1):
+            self.send(chunks[send_idx], right, tag=-6)
+            recv_idx = (send_idx - 1) % p
+            chunks[recv_idx] = self.recv(left, tag=-6)
+            send_idx = recv_idx
+
+        out = np.concatenate(chunks).reshape(array.shape)
+        if op == "mean":
+            out /= p
+        return out.astype(array.dtype, copy=False)
+
+    def _tree_allreduce(self, value: Any, op: str) -> Any:
+        gathered = self.gather(value, root=0)
+        result = _combine(gathered, op) if self.rank == 0 else None
+        return self.bcast(result, root=0)
+
+    # -- guards --------------------------------------------------------------------
+    def _check_peer(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"peer rank {rank} out of range [0, {self.size})")
+
+    def _check_alive(self) -> None:
+        if self._context.aborted.is_set():
+            raise AbortError(
+                f"aborted by peer: {self._context.abort_cause!r}"
+            )
+
+    def __repr__(self):
+        return f"<Communicator rank={self.rank}/{self.size}>"
+
+
+def _accumulate(target: np.ndarray, incoming: np.ndarray, op: str) -> None:
+    if op in ("sum", "mean"):
+        target += incoming
+    elif op == "max":
+        np.maximum(target, incoming, out=target)
+    else:
+        np.minimum(target, incoming, out=target)
+
+
+def _combine(values: list, op: str):
+    if any(isinstance(v, np.ndarray) for v in values):
+        stack = np.stack([np.asarray(v, dtype=np.float64) for v in values])
+        if op == "sum":
+            return stack.sum(axis=0)
+        if op == "mean":
+            return stack.mean(axis=0)
+        if op == "max":
+            return stack.max(axis=0)
+        return stack.min(axis=0)
+    total = values[0]
+    for v in values[1:]:
+        if op in ("sum", "mean"):
+            total = total + v
+        elif op == "max":
+            total = max(total, v)
+        else:
+            total = min(total, v)
+    if op == "mean":
+        total = total / len(values)
+    return total

@@ -1,0 +1,88 @@
+"""SPMD launcher: run one function on N ranks (threads) and collect results.
+
+``run_spmd(nprocs, fn, ...)`` is the moral equivalent of
+``mpirun -np N python script.py``: ``fn(comm, *args)`` executes once per
+rank with that rank's :class:`Communicator`. Exceptions on any rank
+abort the whole run (barrier broken, mailboxes poisoned) and re-raise
+on the caller with the failing rank attached.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional, Sequence
+
+from repro.mpi.communicator import (
+    DEFAULT_TIMEOUT,
+    AbortError,
+    Communicator,
+    _Context,
+)
+
+__all__ = ["run_spmd", "SpmdError"]
+
+
+class SpmdError(RuntimeError):
+    """A rank raised; carries the originating rank and exception."""
+
+    def __init__(self, rank: int, cause: BaseException):
+        super().__init__(f"rank {rank} failed: {cause!r}")
+        self.rank = rank
+        self.cause = cause
+
+
+def run_spmd(
+    nprocs: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    local_size: int = 1,
+    timeout: float = DEFAULT_TIMEOUT,
+    rank_args: Optional[Sequence[tuple]] = None,
+) -> list:
+    """Run ``fn(comm, *args)`` on ``nprocs`` ranks; return per-rank results.
+
+    ``local_size`` sets ranks-per-node (``comm.local_rank`` follows the
+    paper's one-GPU-per-process pinning). ``rank_args`` optionally gives
+    each rank its own extra argument tuple instead of the shared
+    ``args``. Results come back rank-ordered.
+    """
+    if nprocs <= 0:
+        raise ValueError(f"nprocs must be positive, got {nprocs}")
+    if rank_args is not None and len(rank_args) != nprocs:
+        raise ValueError(
+            f"rank_args has {len(rank_args)} entries for {nprocs} ranks"
+        )
+
+    context = _Context(nprocs, timeout)
+    results: list = [None] * nprocs
+    failures: list[tuple[int, BaseException]] = []
+    lock = threading.Lock()
+
+    def worker(rank: int) -> None:
+        comm = Communicator(context, rank, local_size=local_size)
+        extra = rank_args[rank] if rank_args is not None else args
+        try:
+            results[rank] = fn(comm, *extra)
+        except AbortError:
+            pass  # victim of another rank's failure
+        except BaseException as exc:  # noqa: BLE001 — must propagate anything
+            with lock:
+                failures.append((rank, exc))
+            context.abort(exc)
+
+    if nprocs == 1:
+        worker(0)
+    else:
+        threads = [
+            threading.Thread(target=worker, args=(r,), name=f"spmd-rank-{r}")
+            for r in range(nprocs)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    if failures:
+        rank, cause = failures[0]
+        raise SpmdError(rank, cause) from cause
+    return results

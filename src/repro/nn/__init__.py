@@ -1,0 +1,77 @@
+"""repro.nn — a from-scratch, Keras-like deep-learning framework on NumPy.
+
+The CANDLE benchmarks are written against Keras; this subpackage provides
+the subset of the Keras API those benchmarks need, implemented entirely
+with vectorized NumPy so the accuracy experiments in the paper can be run
+for real (at reduced data scale) without TensorFlow.
+
+Public API mirrors Keras naming:
+
+- :class:`repro.nn.models.Sequential` with ``compile/fit/evaluate/predict``
+- layers: ``Dense``, ``Conv1D``, ``MaxPooling1D``, ``Flatten``,
+  ``Dropout``, ``Activation``, ``LocallyConnected1D``
+- optimizers: ``SGD``, ``Adam``, ``RMSprop``
+- losses: ``categorical_crossentropy``, ``mse``, ``mae``
+- callbacks: ``Callback``, ``History``, ``EarlyStopping``,
+  ``LearningRateScheduler``
+"""
+
+from repro.nn import activations, initializers, losses, metrics, regularizers
+from repro.nn.callbacks import (
+    Callback,
+    CallbackList,
+    EarlyStopping,
+    History,
+    LambdaCallback,
+    LearningRateScheduler,
+)
+from repro.nn.layers import (
+    Activation,
+    AveragePooling1D,
+    BatchNormalization,
+    Conv1D,
+    GlobalMaxPooling1D,
+    Dense,
+    Dropout,
+    Flatten,
+    Layer,
+    LocallyConnected1D,
+    MaxPooling1D,
+)
+from repro.nn.models import Sequential
+from repro.nn.serialization import CheckpointError, load_checkpoint, save_checkpoint
+from repro.nn.optimizers import SGD, Adam, Optimizer, RMSprop, get as get_optimizer
+
+__all__ = [
+    "activations",
+    "initializers",
+    "losses",
+    "metrics",
+    "regularizers",
+    "Callback",
+    "CallbackList",
+    "EarlyStopping",
+    "History",
+    "LambdaCallback",
+    "LearningRateScheduler",
+    "Activation",
+    "AveragePooling1D",
+    "BatchNormalization",
+    "Conv1D",
+    "GlobalMaxPooling1D",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "Layer",
+    "LocallyConnected1D",
+    "MaxPooling1D",
+    "Sequential",
+    "save_checkpoint",
+    "load_checkpoint",
+    "CheckpointError",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "RMSprop",
+    "get_optimizer",
+]

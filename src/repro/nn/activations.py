@@ -1,0 +1,98 @@
+"""Activation functions and their derivatives.
+
+Every activation is a pair of vectorized functions:
+
+- ``f(x)`` — the forward value.
+- ``f_grad(x, y)`` — the elementwise derivative ``df/dx`` evaluated with
+  access to both the input ``x`` and the already-computed output ``y``
+  (several derivatives are cheaper in terms of ``y``).
+
+``softmax`` is special-cased: its Jacobian is not elementwise, so models
+pair it with categorical cross-entropy and use the fused
+``softmax + cross-entropy`` gradient (see :mod:`repro.nn.losses`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["get", "ACTIVATIONS", "relu", "sigmoid", "tanh", "softmax", "linear"]
+
+
+def linear(x: np.ndarray) -> np.ndarray:
+    """Identity activation."""
+    return x
+
+
+def _linear_grad(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    return np.ones_like(x)
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit: ``max(x, 0)``."""
+    return np.maximum(x, 0.0)
+
+
+def _relu_grad(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    return (x > 0.0).astype(x.dtype)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def _sigmoid_grad(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    return y * (1.0 - y)
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    """Hyperbolic tangent."""
+    return np.tanh(x)
+
+
+def _tanh_grad(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    return 1.0 - y * y
+
+
+def softmax(x: np.ndarray) -> np.ndarray:
+    """Row-wise softmax over the last axis, shifted for stability."""
+    shifted = x - np.max(x, axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=-1, keepdims=True)
+
+
+def _softmax_grad(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    # Elementwise surrogate; exact only when fused with cross-entropy.
+    # Kept so an Activation('softmax') layer used standalone still trains
+    # (diagonal of the softmax Jacobian).
+    return y * (1.0 - y)
+
+
+ACTIVATIONS: dict[str, tuple[Callable, Callable]] = {
+    "linear": (linear, _linear_grad),
+    "relu": (relu, _relu_grad),
+    "sigmoid": (sigmoid, _sigmoid_grad),
+    "tanh": (tanh, _tanh_grad),
+    "softmax": (softmax, _softmax_grad),
+}
+
+
+def get(name: str) -> tuple[Callable, Callable]:
+    """Look up ``(forward, grad)`` for an activation by Keras-style name.
+
+    Raises ``ValueError`` for unknown names so typos fail fast.
+    """
+    try:
+        return ACTIVATIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown activation {name!r}; known: {sorted(ACTIVATIONS)}"
+        ) from None

@@ -1,0 +1,26 @@
+"""Neural-network layers (Keras-compatible subset used by CANDLE P1)."""
+
+from repro.nn.layers.base import Layer
+from repro.nn.layers.conv import (
+    AveragePooling1D,
+    Conv1D,
+    GlobalMaxPooling1D,
+    LocallyConnected1D,
+    MaxPooling1D,
+)
+from repro.nn.layers.normalization import BatchNormalization
+from repro.nn.layers.core import Activation, Dense, Dropout, Flatten
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Dropout",
+    "Activation",
+    "Flatten",
+    "Conv1D",
+    "AveragePooling1D",
+    "GlobalMaxPooling1D",
+    "BatchNormalization",
+    "MaxPooling1D",
+    "LocallyConnected1D",
+]

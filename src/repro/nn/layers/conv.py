@@ -1,0 +1,348 @@
+"""1-D convolutional, pooling, and locally connected layers.
+
+NT3 is "a 1D convolutional network … multiple 1D convolutional layers
+interleaved with pooling layers followed by final dense layers"; P1B3
+uses "convolution-like" (locally connected) layers. All forward passes
+are vectorized with ``sliding_window_view`` + ``tensordot`` — no Python
+loops over the batch or the sequence (see the HPC guide's vectorization
+rules); only ``LocallyConnected1D``'s input-gradient scatter loops over
+kernel taps (a ``kernel_size``-length loop).
+
+Layout is Keras channels-last: ``(batch, steps, channels)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.nn import activations as _act
+from repro.nn import initializers as _init
+from repro.nn.layers.base import Layer
+
+__all__ = [
+    "Conv1D",
+    "MaxPooling1D",
+    "AveragePooling1D",
+    "GlobalMaxPooling1D",
+    "LocallyConnected1D",
+]
+
+
+def _pad_same(x: np.ndarray, kernel_size: int) -> tuple[np.ndarray, int, int]:
+    """Zero-pad the steps axis so a stride-1 'valid' conv preserves length."""
+    total = kernel_size - 1
+    left = total // 2
+    right = total - left
+    if total == 0:
+        return x, 0, 0
+    return np.pad(x, ((0, 0), (left, right), (0, 0))), left, right
+
+
+class Conv1D(Layer):
+    """Stride-1 1-D convolution (cross-correlation, as in Keras).
+
+    Kernel shape is ``(kernel_size, in_channels, filters)``. Supports
+    ``padding`` of ``'valid'`` or ``'same'`` and a fused activation.
+    """
+
+    def __init__(
+        self,
+        filters: int,
+        kernel_size: int,
+        activation: Optional[str] = None,
+        padding: str = "valid",
+        kernel_initializer: str = "glorot_uniform",
+        use_bias: bool = True,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        if filters <= 0 or kernel_size <= 0:
+            raise ValueError("filters and kernel_size must be positive")
+        if padding not in ("valid", "same"):
+            raise ValueError(f"padding must be 'valid' or 'same', got {padding!r}")
+        self.filters = int(filters)
+        self.kernel_size = int(kernel_size)
+        self.padding = padding
+        self.activation_name = activation
+        self._act_fn, self._act_grad = (
+            _act.get(activation) if activation else (None, None)
+        )
+        self.kernel_initializer = kernel_initializer
+        self.use_bias = bool(use_bias)
+        self._cache: tuple | None = None
+
+    def build(self, input_shape, rng):
+        if len(input_shape) != 2:
+            raise ValueError(
+                f"Conv1D expects (steps, channels) input, got {input_shape}"
+            )
+        steps, channels = input_shape
+        if self.padding == "valid" and steps < self.kernel_size:
+            raise ValueError(
+                f"input length {steps} shorter than kernel {self.kernel_size}"
+            )
+        init = _init.get(self.kernel_initializer)
+        self.add_param(
+            "kernel", init((self.kernel_size, channels, self.filters), rng)
+        )
+        if self.use_bias:
+            self.add_param("bias", np.zeros(self.filters))
+        out_steps = steps if self.padding == "same" else steps - self.kernel_size + 1
+        self.input_shape = tuple(input_shape)
+        self.output_shape = (out_steps, self.filters)
+        self.built = True
+
+    def forward(self, x, training=False):
+        self._require_built()
+        if self.padding == "same":
+            xp, self._pad_l, self._pad_r = _pad_same(x, self.kernel_size)
+        else:
+            xp, self._pad_l, self._pad_r = x, 0, 0
+        # windows: (N, out_steps, channels, kernel_size)
+        win = sliding_window_view(xp, self.kernel_size, axis=1)
+        z = np.tensordot(win, self.params["kernel"], axes=([3, 2], [0, 1]))
+        if self.use_bias:
+            z = z + self.params["bias"]
+        if self._act_fn is None:
+            self._cache = (win, None, None)
+            return z
+        y = self._act_fn(z)
+        self._cache = (win, z, y)
+        return y
+
+    def backward(self, dy):
+        win, z, y = self._cache
+        if self._act_fn is not None:
+            dy = dy * self._act_grad(z, y)
+        k = self.kernel_size
+        # dW[k, ci, co] = sum_{n, l} win[n, l, ci, k] * dy[n, l, co]
+        dw = np.tensordot(win, dy, axes=([0, 1], [0, 1]))  # (ci, k, co)
+        self.grads["kernel"] = dw.transpose(1, 0, 2)
+        if self.use_bias:
+            self.grads["bias"] = dy.sum(axis=(0, 1))
+        # Full correlation of dy with the tap-reversed kernel gives dx.
+        dyp = np.pad(dy, ((0, 0), (k - 1, k - 1), (0, 0)))
+        win_dy = sliding_window_view(dyp, k, axis=1)  # (N, L_pad, co, k)
+        w_flip = self.params["kernel"][::-1]  # reverse taps
+        dxp = np.tensordot(win_dy, w_flip, axes=([3, 2], [0, 2]))
+        if self._pad_l or self._pad_r:
+            end = dxp.shape[1] - self._pad_r
+            dxp = dxp[:, self._pad_l : end, :]
+        return dxp
+
+
+class MaxPooling1D(Layer):
+    """Non-overlapping max pooling (``strides == pool_size``).
+
+    Trailing steps that do not fill a window are dropped, matching
+    Keras's 'valid' pooling.
+    """
+
+    def __init__(self, pool_size: int = 2, name: Optional[str] = None):
+        super().__init__(name=name)
+        if pool_size <= 0:
+            raise ValueError(f"pool_size must be positive, got {pool_size}")
+        self.pool_size = int(pool_size)
+        self._cache: tuple | None = None
+
+    def build(self, input_shape, rng):
+        if len(input_shape) != 2:
+            raise ValueError(
+                f"MaxPooling1D expects (steps, channels) input, got {input_shape}"
+            )
+        steps, channels = input_shape
+        out_steps = steps // self.pool_size
+        if out_steps == 0:
+            raise ValueError(
+                f"input length {steps} shorter than pool size {self.pool_size}"
+            )
+        self.input_shape = tuple(input_shape)
+        self.output_shape = (out_steps, channels)
+        self.built = True
+
+    def forward(self, x, training=False):
+        self._require_built()
+        p = self.pool_size
+        n, steps, c = x.shape
+        out_steps = steps // p
+        xw = x[:, : out_steps * p, :].reshape(n, out_steps, p, c)
+        idx = np.argmax(xw, axis=2)  # (n, out_steps, c)
+        self._cache = (x.shape, idx)
+        return np.max(xw, axis=2)
+
+    def backward(self, dy):
+        in_shape, idx = self._cache
+        p = self.pool_size
+        n, out_steps, c = dy.shape
+        dxw = np.zeros((n, out_steps, p, c))
+        ni, li, ci = np.ogrid[:n, :out_steps, :c]
+        dxw[ni, li, idx, ci] = dy
+        dx = np.zeros(in_shape)
+        dx[:, : out_steps * p, :] = dxw.reshape(n, out_steps * p, c)
+        return dx
+
+
+class LocallyConnected1D(Layer):
+    """Conv1D with *unshared* weights per output position.
+
+    The paper describes P1B3 as "an MLP network with convolution-like
+    layers"; locally connected layers are the Keras construct CANDLE's
+    P1B3 offers for that. Kernel shape:
+    ``(out_steps, kernel_size * in_channels, filters)``.
+    """
+
+    def __init__(
+        self,
+        filters: int,
+        kernel_size: int,
+        activation: Optional[str] = None,
+        kernel_initializer: str = "glorot_uniform",
+        use_bias: bool = True,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        if filters <= 0 or kernel_size <= 0:
+            raise ValueError("filters and kernel_size must be positive")
+        self.filters = int(filters)
+        self.kernel_size = int(kernel_size)
+        self.activation_name = activation
+        self._act_fn, self._act_grad = (
+            _act.get(activation) if activation else (None, None)
+        )
+        self.kernel_initializer = kernel_initializer
+        self.use_bias = bool(use_bias)
+        self._cache: tuple | None = None
+
+    def build(self, input_shape, rng):
+        if len(input_shape) != 2:
+            raise ValueError(
+                f"LocallyConnected1D expects (steps, channels), got {input_shape}"
+            )
+        steps, channels = input_shape
+        out_steps = steps - self.kernel_size + 1
+        if out_steps <= 0:
+            raise ValueError(
+                f"input length {steps} shorter than kernel {self.kernel_size}"
+            )
+        init = _init.get(self.kernel_initializer)
+        self.add_param(
+            "kernel",
+            init((out_steps, self.kernel_size * channels, self.filters), rng),
+        )
+        if self.use_bias:
+            self.add_param("bias", np.zeros((out_steps, self.filters)))
+        self.input_shape = tuple(input_shape)
+        self.output_shape = (out_steps, self.filters)
+        self.built = True
+
+    def forward(self, x, training=False):
+        self._require_built()
+        k = self.kernel_size
+        n, steps, c = x.shape
+        out_steps = self.output_shape[0]
+        # (N, out_steps, c, k) -> flatten the (k, c) receptive field in
+        # (tap, channel) order to match the kernel layout below.
+        win = sliding_window_view(x, k, axis=1)
+        win_flat = win.transpose(0, 1, 3, 2).reshape(n, out_steps, k * c)
+        z = np.einsum("nlf,lfo->nlo", win_flat, self.params["kernel"])
+        if self.use_bias:
+            z = z + self.params["bias"]
+        if self._act_fn is None:
+            self._cache = (x.shape, win_flat, None, None)
+            return z
+        y = self._act_fn(z)
+        self._cache = (x.shape, win_flat, z, y)
+        return y
+
+    def backward(self, dy):
+        in_shape, win_flat, z, y = self._cache
+        if self._act_fn is not None:
+            dy = dy * self._act_grad(z, y)
+        self.grads["kernel"] = np.einsum("nlf,nlo->lfo", win_flat, dy)
+        if self.use_bias:
+            self.grads["bias"] = dy.sum(axis=0)
+        dwin = np.einsum("nlo,lfo->nlf", dy, self.params["kernel"])
+        n, steps, c = in_shape
+        k = self.kernel_size
+        out_steps = dy.shape[1]
+        dwin = dwin.reshape(n, out_steps, k, c)
+        dx = np.zeros(in_shape)
+        for tap in range(k):  # overlap-add of the k shifted slices
+            dx[:, tap : tap + out_steps, :] += dwin[:, :, tap, :]
+        return dx
+
+
+class AveragePooling1D(Layer):
+    """Non-overlapping average pooling (``strides == pool_size``)."""
+
+    def __init__(self, pool_size: int = 2, name: Optional[str] = None):
+        super().__init__(name=name)
+        if pool_size <= 0:
+            raise ValueError(f"pool_size must be positive, got {pool_size}")
+        self.pool_size = int(pool_size)
+        self._in_shape: tuple | None = None
+
+    def build(self, input_shape, rng):
+        if len(input_shape) != 2:
+            raise ValueError(
+                f"AveragePooling1D expects (steps, channels), got {input_shape}"
+            )
+        steps, channels = input_shape
+        out_steps = steps // self.pool_size
+        if out_steps == 0:
+            raise ValueError(
+                f"input length {steps} shorter than pool size {self.pool_size}"
+            )
+        self.input_shape = tuple(input_shape)
+        self.output_shape = (out_steps, channels)
+        self.built = True
+
+    def forward(self, x, training=False):
+        self._require_built()
+        p = self.pool_size
+        n, steps, c = x.shape
+        out_steps = steps // p
+        self._in_shape = x.shape
+        return x[:, : out_steps * p, :].reshape(n, out_steps, p, c).mean(axis=2)
+
+    def backward(self, dy):
+        p = self.pool_size
+        n, out_steps, c = dy.shape
+        dx = np.zeros(self._in_shape)
+        spread = np.repeat(dy / p, p, axis=1)
+        dx[:, : out_steps * p, :] = spread
+        return dx
+
+
+class GlobalMaxPooling1D(Layer):
+    """Max over the whole steps axis: (N, L, C) -> (N, C)."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name=name)
+        self._cache: tuple | None = None
+
+    def build(self, input_shape, rng):
+        if len(input_shape) != 2:
+            raise ValueError(
+                f"GlobalMaxPooling1D expects (steps, channels), got {input_shape}"
+            )
+        self.input_shape = tuple(input_shape)
+        self.output_shape = (input_shape[1],)
+        self.built = True
+
+    def forward(self, x, training=False):
+        self._require_built()
+        idx = np.argmax(x, axis=1)  # (N, C)
+        self._cache = (x.shape, idx)
+        return np.max(x, axis=1)
+
+    def backward(self, dy):
+        shape, idx = self._cache
+        dx = np.zeros(shape)
+        n, _, c = shape
+        ni, ci = np.ogrid[:n, :c]
+        dx[ni, idx, ci] = dy
+        return dx

@@ -1,0 +1,180 @@
+"""Core layers: Dense, Dropout, Activation, Flatten.
+
+These four plus the conv/pooling layers in
+:mod:`repro.nn.layers.conv` cover every architecture in the CANDLE P1
+suite (NT3's 1-D CNN and the three MLPs).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn import activations as _act
+from repro.nn import initializers as _init
+from repro.nn import regularizers as _reg
+from repro.nn.layers.base import Layer
+
+__all__ = ["Dense", "Dropout", "Activation", "Flatten"]
+
+
+class Dense(Layer):
+    """Fully connected layer: ``y = activation(x @ kernel + bias)``.
+
+    Accepts an optional fused ``activation`` (Keras-style) and an optional
+    kernel regularizer (used by P1B2).
+    """
+
+    def __init__(
+        self,
+        units: int,
+        activation: Optional[str] = None,
+        kernel_initializer: str = "glorot_uniform",
+        kernel_regularizer=None,
+        use_bias: bool = True,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        if units <= 0:
+            raise ValueError(f"units must be positive, got {units}")
+        self.units = int(units)
+        self.activation_name = activation
+        self._act_fn, self._act_grad = (
+            _act.get(activation) if activation else (None, None)
+        )
+        self.kernel_initializer = kernel_initializer
+        self.kernel_regularizer = _reg.get(kernel_regularizer)
+        self.use_bias = bool(use_bias)
+        self._cache: tuple | None = None
+
+    def build(self, input_shape, rng):
+        if len(input_shape) != 1:
+            raise ValueError(
+                f"Dense expects flat input, got shape {input_shape}; "
+                "add a Flatten layer first"
+            )
+        init = _init.get(self.kernel_initializer)
+        self.add_param("kernel", init((input_shape[0], self.units), rng))
+        if self.use_bias:
+            self.add_param("bias", np.zeros(self.units))
+        self.input_shape = tuple(input_shape)
+        self.output_shape = (self.units,)
+        self.built = True
+
+    def forward(self, x, training=False):
+        self._require_built()
+        z = x @ self.params["kernel"]
+        if self.use_bias:
+            z = z + self.params["bias"]
+        if self._act_fn is None:
+            self._cache = (x, None, None)
+            return z
+        y = self._act_fn(z)
+        self._cache = (x, z, y)
+        return y
+
+    def backward(self, dy):
+        x, z, y = self._cache
+        if self._act_fn is not None:
+            dy = dy * self._act_grad(z, y)
+        dk = x.T @ dy
+        if self.kernel_regularizer is not None:
+            dk += self.kernel_regularizer.grad(self.params["kernel"])
+        self.grads["kernel"] = dk
+        if self.use_bias:
+            self.grads["bias"] = dy.sum(axis=0)
+        return dy @ self.params["kernel"].T
+
+    def regularization_penalty(self):
+        if self.kernel_regularizer is None or not self.built:
+            return 0.0
+        return self.kernel_regularizer.penalty(self.params["kernel"])
+
+
+class Dropout(Layer):
+    """Inverted dropout: active only when ``training=True``.
+
+    The mask is drawn from the layer's own Generator, seeded at build
+    time from the model RNG, so SPMD ranks can be given distinct dropout
+    streams while weight init stays broadcast-consistent.
+    """
+
+    def __init__(self, rate: float, name: Optional[str] = None):
+        super().__init__(name=name)
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self._rng: np.random.Generator | None = None
+        self._mask: np.ndarray | None = None
+
+    def build(self, input_shape, rng):
+        super().build(input_shape, rng)
+        self._rng = np.random.default_rng(rng.integers(0, 2**63 - 1))
+
+    def forward(self, x, training=False):
+        self._require_built()
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, dy):
+        if self._mask is None:
+            return dy
+        return dy * self._mask
+
+
+class Activation(Layer):
+    """Standalone activation layer (e.g. ``Activation('softmax')``).
+
+    ``Sequential`` detects a trailing softmax Activation and fuses its
+    gradient with categorical cross-entropy for exactness.
+    """
+
+    def __init__(self, activation: str, name: Optional[str] = None):
+        super().__init__(name=name)
+        self.activation_name = activation
+        self._fn, self._grad = _act.get(activation)
+        self._cache: tuple | None = None
+
+    @property
+    def is_softmax(self) -> bool:
+        return self.activation_name == "softmax"
+
+    def forward(self, x, training=False):
+        self._require_built()
+        y = self._fn(x)
+        self._cache = (x, y)
+        return y
+
+    def backward(self, dy):
+        x, y = self._cache
+        return dy * self._grad(x, y)
+
+    def backward_fused(self, dz: np.ndarray) -> np.ndarray:
+        """Pass through a pre-fused gradient (softmax+CE)."""
+        return dz
+
+
+class Flatten(Layer):
+    """Collapse all per-example dims into one (NT3: conv stack → dense)."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name=name)
+        self._batch_shape: Tuple[int, ...] | None = None
+
+    def build(self, input_shape, rng):
+        self.input_shape = tuple(input_shape)
+        self.output_shape = (int(np.prod(input_shape)),)
+        self.built = True
+
+    def forward(self, x, training=False):
+        self._require_built()
+        self._batch_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, dy):
+        return dy.reshape(self._batch_shape)

@@ -1,0 +1,128 @@
+"""Loss functions with analytic gradients.
+
+Each loss is a class with ``value(y_true, y_pred)`` returning the scalar
+mean loss over the batch and ``grad(y_true, y_pred)`` returning
+``dL/dy_pred`` already divided by the batch size, so layer backward
+passes can accumulate per-example gradients with plain matmuls.
+
+``CategoricalCrossentropy`` supports the fused softmax gradient: when the
+model's last activation is softmax, the combined gradient is simply
+``(y_pred - y_true)/N``, which is both faster and numerically exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Loss",
+    "MeanSquaredError",
+    "MeanAbsoluteError",
+    "CategoricalCrossentropy",
+    "BinaryCrossentropy",
+    "get",
+]
+
+_EPS = 1e-12
+
+
+class Loss:
+    """Base class for losses."""
+
+    name = "loss"
+
+    def value(self, y_true: np.ndarray, y_pred: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def grad(self, y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, y_true: np.ndarray, y_pred: np.ndarray) -> float:
+        return self.value(y_true, y_pred)
+
+
+class MeanSquaredError(Loss):
+    """MSE averaged over every element in the batch."""
+
+    name = "mse"
+
+    def value(self, y_true, y_pred):
+        diff = y_pred - y_true
+        return float(np.mean(diff * diff))
+
+    def grad(self, y_true, y_pred):
+        return 2.0 * (y_pred - y_true) / y_pred.size
+
+
+class MeanAbsoluteError(Loss):
+    """MAE averaged over every element in the batch."""
+
+    name = "mae"
+
+    def value(self, y_true, y_pred):
+        return float(np.mean(np.abs(y_pred - y_true)))
+
+    def grad(self, y_true, y_pred):
+        return np.sign(y_pred - y_true) / y_pred.size
+
+
+class CategoricalCrossentropy(Loss):
+    """Cross-entropy against one-hot (or soft) targets.
+
+    ``fused_softmax_grad`` is used by ``Sequential`` when the final layer
+    activation is softmax: it returns the exact combined gradient of
+    softmax followed by cross-entropy.
+    """
+
+    name = "categorical_crossentropy"
+
+    def value(self, y_true, y_pred):
+        p = np.clip(y_pred, _EPS, 1.0)
+        return float(-np.sum(y_true * np.log(p)) / y_true.shape[0])
+
+    def grad(self, y_true, y_pred):
+        p = np.clip(y_pred, _EPS, 1.0)
+        return -(y_true / p) / y_true.shape[0]
+
+    @staticmethod
+    def fused_softmax_grad(y_true, y_pred):
+        """Gradient of CE∘softmax w.r.t. the softmax *input* logits."""
+        return (y_pred - y_true) / y_true.shape[0]
+
+
+class BinaryCrossentropy(Loss):
+    """Elementwise binary cross-entropy (sigmoid outputs)."""
+
+    name = "binary_crossentropy"
+
+    def value(self, y_true, y_pred):
+        p = np.clip(y_pred, _EPS, 1.0 - _EPS)
+        return float(
+            -np.mean(y_true * np.log(p) + (1.0 - y_true) * np.log(1.0 - p))
+        )
+
+    def grad(self, y_true, y_pred):
+        p = np.clip(y_pred, _EPS, 1.0 - _EPS)
+        return (p - y_true) / (p * (1.0 - p)) / y_true.size
+
+
+_LOSSES = {
+    "mse": MeanSquaredError,
+    "mean_squared_error": MeanSquaredError,
+    "mae": MeanAbsoluteError,
+    "mean_absolute_error": MeanAbsoluteError,
+    "categorical_crossentropy": CategoricalCrossentropy,
+    "binary_crossentropy": BinaryCrossentropy,
+}
+
+
+def get(name_or_loss) -> Loss:
+    """Resolve a loss instance from a name or pass an instance through."""
+    if isinstance(name_or_loss, Loss):
+        return name_or_loss
+    try:
+        return _LOSSES[name_or_loss]()
+    except KeyError:
+        raise ValueError(
+            f"unknown loss {name_or_loss!r}; known: {sorted(_LOSSES)}"
+        ) from None

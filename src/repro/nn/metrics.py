@@ -1,0 +1,78 @@
+"""Evaluation metrics.
+
+Plain functions ``metric(y_true, y_pred) -> float`` over NumPy arrays.
+The paper reports *training accuracy* (Figs 6b, 9b, 10b, Table 6) and
+*training loss* (Fig 8b); those map to :func:`categorical_accuracy` and
+the model loss respectively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "categorical_accuracy",
+    "binary_accuracy",
+    "mae",
+    "mse",
+    "r2_score",
+    "get",
+]
+
+
+def categorical_accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of rows where the argmax class matches."""
+    return float(
+        np.mean(np.argmax(y_true, axis=-1) == np.argmax(y_pred, axis=-1))
+    )
+
+
+def binary_accuracy(y_true: np.ndarray, y_pred: np.ndarray, threshold: float = 0.5) -> float:
+    """Fraction of elements on the correct side of ``threshold``."""
+    return float(np.mean((y_pred >= threshold) == (y_true >= threshold)))
+
+
+def mae(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error."""
+    return float(np.mean(np.abs(y_pred - y_true)))
+
+
+def mse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean squared error."""
+    return float(np.mean((y_pred - y_true) ** 2))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination; 1.0 is perfect, 0.0 is the mean model."""
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - np.mean(y_true)) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+_METRICS = {
+    "accuracy": categorical_accuracy,
+    "categorical_accuracy": categorical_accuracy,
+    "binary_accuracy": binary_accuracy,
+    "mae": mae,
+    "mse": mse,
+    "r2": r2_score,
+}
+
+
+def get(name):
+    """Resolve a metric function from a Keras-style name (or callable)."""
+    if callable(name):
+        return name
+    try:
+        return _METRICS[name]
+    except KeyError:
+        raise ValueError(f"unknown metric {name!r}; known: {sorted(_METRICS)}") from None
+
+
+def metric_name(m) -> str:
+    """Human-readable name for a metric passed to ``compile``."""
+    if isinstance(m, str):
+        return "accuracy" if m == "categorical_accuracy" else m
+    return getattr(m, "__name__", str(m))

@@ -1,0 +1,294 @@
+"""The Sequential model: compile / fit / evaluate / predict.
+
+This is the Keras surface the CANDLE benchmarks are written against
+(Figure 2 of the paper: data loading → training + cross-validation →
+prediction/evaluation; the middle phase is ``fit``).
+
+Distributed-training hooks, mirroring the paper's Horovod additions:
+
+- the optimizer is pluggable, so ``hvd.DistributedOptimizer`` can wrap
+  it (gradient allreduce happens inside ``optimizer.apply_gradients``);
+- callbacks run at epoch/batch boundaries, so
+  ``BroadcastGlobalVariablesCallback`` can sync initial weights;
+- ``set_weights`` copies *in place*, so a broadcast does not invalidate
+  optimizer state or cross-rank array identity.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.nn import losses as _losses
+from repro.nn import metrics as _metrics
+from repro.nn import optimizers as _optimizers
+from repro.nn.callbacks import Callback, CallbackList, History
+from repro.nn.layers.base import Layer
+from repro.nn.layers.core import Activation, Dense
+
+__all__ = ["Sequential"]
+
+
+class Sequential:
+    """A linear stack of layers."""
+
+    def __init__(self, layers: Optional[Iterable[Layer]] = None, name: str = "sequential"):
+        self.name = name
+        self.layers: list[Layer] = []
+        self.optimizer: _optimizers.Optimizer | None = None
+        self.loss: _losses.Loss | None = None
+        self.metrics: list = []
+        self.metric_names: list[str] = []
+        self.built = False
+        self.stop_training = False
+        self._shuffle_rng = np.random.default_rng(0)
+        for layer in layers or []:
+            self.add(layer)
+
+    # -- construction ------------------------------------------------------
+    def add(self, layer: Layer) -> None:
+        """Append a layer; building is deferred until :meth:`build`."""
+        if self.built:
+            raise RuntimeError("cannot add layers after the model is built")
+        self.layers.append(layer)
+
+    def build(self, input_shape: Sequence[int], seed: int = 0) -> None:
+        """Build every layer for a per-example ``input_shape``.
+
+        ``seed`` drives weight init; SPMD ranks pass different seeds and
+        rely on the Horovod broadcast to reconcile, as the paper does.
+        """
+        if self.built:
+            raise RuntimeError("model already built")
+        if not self.layers:
+            raise ValueError("cannot build an empty model")
+        rng = np.random.default_rng(seed)
+        self._shuffle_rng = np.random.default_rng(rng.integers(0, 2**63 - 1))
+        shape = tuple(int(s) for s in input_shape)
+        for i, layer in enumerate(self.layers):
+            if layer.auto_named:
+                # positional names: identical across SPMD ranks regardless
+                # of thread interleaving, so broadcast/allreduce align
+                layer.name = f"{type(layer).__name__.lower()}_{i}"
+            layer.build(shape, rng)
+            shape = layer.output_shape
+        names = [layer.name for layer in self.layers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate layer names: {names}")
+        self.built = True
+
+    def compile(self, optimizer="sgd", loss="mse", metrics: Sequence = (), lr: float | None = None) -> None:
+        """Attach optimizer, loss, and metrics (Keras signature subset)."""
+        self.optimizer = _optimizers.get(optimizer, lr=lr)
+        self.loss = _losses.get(loss)
+        self.metrics = [_metrics.get(m) for m in metrics]
+        self.metric_names = [_metrics.metric_name(m) for m in metrics]
+
+    # -- parameter access ----------------------------------------------------
+    def named_parameters(self) -> dict[str, np.ndarray]:
+        """Flat dict of ``layer_name/param_key`` → array (live references)."""
+        self._require_built()
+        out: dict[str, np.ndarray] = {}
+        for layer in self.layers:
+            for key, arr in layer.params.items():
+                out[f"{layer.name}/{key}"] = arr
+        return out
+
+    def named_gradients(self) -> dict[str, np.ndarray]:
+        """Flat dict of the most recent backward pass's gradients."""
+        out: dict[str, np.ndarray] = {}
+        for layer in self.layers:
+            for key, arr in layer.grads.items():
+                out[f"{layer.name}/{key}"] = arr
+        return out
+
+    def get_weights(self) -> list[np.ndarray]:
+        """Copies of all weights in layer order (Keras convention)."""
+        return [arr.copy() for arr in self.named_parameters().values()]
+
+    def set_weights(self, weights: Sequence[np.ndarray]) -> None:
+        """Copy ``weights`` into the model's arrays *in place*."""
+        params = list(self.named_parameters().values())
+        if len(weights) != len(params):
+            raise ValueError(
+                f"expected {len(params)} weight arrays, got {len(weights)}"
+            )
+        for dst, src in zip(params, weights):
+            src = np.asarray(src)
+            if dst.shape != src.shape:
+                raise ValueError(f"shape mismatch: {dst.shape} vs {src.shape}")
+            np.copyto(dst, src)
+
+    def count_params(self) -> int:
+        """Total trainable scalar count."""
+        self._require_built()
+        return sum(layer.param_count() for layer in self.layers)
+
+    # -- forward / backward ---------------------------------------------------
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Forward pass in inference mode, batched to bound memory."""
+        self._require_built()
+        if len(x) == 0:
+            raise ValueError("predict called with empty input")
+        outs = [
+            self._forward(x[i : i + batch_size], training=False)
+            for i in range(0, len(x), batch_size)
+        ]
+        return np.concatenate(outs, axis=0)
+
+    def _forward(self, x: np.ndarray, training: bool) -> np.ndarray:
+        h = x
+        for layer in self.layers:
+            h = layer.forward(h, training=training)
+        return h
+
+    def _backward(self, y_true: np.ndarray, y_pred: np.ndarray) -> None:
+        """Backprop the loss gradient through the stack.
+
+        Fuses softmax with categorical cross-entropy when the last layer
+        is ``Activation('softmax')`` or ``Dense(activation='softmax')``.
+        """
+        last = self.layers[-1]
+        fused = isinstance(self.loss, _losses.CategoricalCrossentropy) and (
+            (isinstance(last, Activation) and last.is_softmax)
+            or (isinstance(last, Dense) and last.activation_name == "softmax")
+        )
+        if fused:
+            grad = self.loss.fused_softmax_grad(y_true, y_pred)
+            if isinstance(last, Activation):
+                rest = self.layers[:-1]
+            else:
+                grad = self._dense_backward_from_logits(last, grad)
+                rest = self.layers[:-1]
+        else:
+            grad = self.loss.grad(y_true, y_pred)
+            rest = self.layers
+        for layer in reversed(rest):
+            grad = layer.backward(grad)
+
+    @staticmethod
+    def _dense_backward_from_logits(layer: Dense, dz: np.ndarray) -> np.ndarray:
+        """Dense backward given a gradient w.r.t. pre-activation logits."""
+        x = layer._cache[0]
+        dk = x.T @ dz
+        if layer.kernel_regularizer is not None:
+            dk += layer.kernel_regularizer.grad(layer.params["kernel"])
+        layer.grads["kernel"] = dk
+        if layer.use_bias:
+            layer.grads["bias"] = dz.sum(axis=0)
+        return dz @ layer.params["kernel"].T
+
+    def _regularization_penalty(self) -> float:
+        return sum(layer.regularization_penalty() for layer in self.layers)
+
+    # -- training ------------------------------------------------------------
+    def train_on_batch(self, x: np.ndarray, y: np.ndarray) -> dict[str, float]:
+        """One forward/backward/update step; returns batch logs."""
+        self._require_compiled()
+        y_pred = self._forward(x, training=True)
+        loss_val = self.loss.value(y, y_pred) + self._regularization_penalty()
+        self._backward(y, y_pred)
+        self.optimizer.apply_gradients(self.named_parameters(), self.named_gradients())
+        logs = {"loss": float(loss_val)}
+        for name, fn in zip(self.metric_names, self.metrics):
+            logs[name] = fn(y, y_pred)
+        return logs
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        batch_size: int = 32,
+        epochs: int = 1,
+        shuffle: bool = True,
+        validation_data: Optional[tuple] = None,
+        callbacks: Optional[Sequence[Callback]] = None,
+        verbose: int = 0,
+        initial_epoch: int = 0,
+    ) -> History:
+        """Train for ``epochs`` passes over ``(x, y)``.
+
+        Per-epoch logs hold the running mean of batch losses/metrics plus
+        ``val_*`` entries when ``validation_data`` is given. Returns the
+        ``History`` callback, as Keras does.
+        """
+        self._require_compiled()
+        if len(x) != len(y):
+            raise ValueError(f"x and y disagree on length: {len(x)} vs {len(y)}")
+        if len(x) == 0:
+            raise ValueError("fit called with empty dataset")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if epochs < 0:
+            raise ValueError(f"epochs must be non-negative, got {epochs}")
+
+        history = History()
+        cb_list = CallbackList(list(callbacks or []) + [history])
+        cb_list.set_model(self)
+        self.stop_training = False
+
+        n = len(x)
+        cb_list.on_train_begin({})
+        for epoch in range(initial_epoch, initial_epoch + epochs):
+            t0 = time.perf_counter()
+            cb_list.on_epoch_begin(epoch, {})
+            order = self._shuffle_rng.permutation(n) if shuffle else np.arange(n)
+            sums: dict[str, float] = {}
+            batches = 0
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                cb_list.on_batch_begin(batches, {"size": len(idx)})
+                logs = self.train_on_batch(x[idx], y[idx])
+                cb_list.on_batch_end(batches, logs)
+                for key, value in logs.items():
+                    sums[key] = sums.get(key, 0.0) + value
+                batches += 1
+            epoch_logs = {key: value / batches for key, value in sums.items()}
+            if validation_data is not None:
+                vx, vy = validation_data
+                val = self.evaluate(vx, vy, batch_size=batch_size)
+                epoch_logs.update({f"val_{key}": value for key, value in val.items()})
+            epoch_logs["epoch_time"] = time.perf_counter() - t0
+            cb_list.on_epoch_end(epoch, epoch_logs)
+            if verbose:
+                stats = " ".join(f"{key}={value:.4f}" for key, value in epoch_logs.items())
+                print(f"epoch {epoch + 1}/{initial_epoch + epochs}: {stats}")
+            if self.stop_training:
+                break
+        cb_list.on_train_end({})
+        return history
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray, batch_size: int = 256) -> dict[str, float]:
+        """Compute loss and metrics on ``(x, y)`` in inference mode."""
+        self._require_compiled()
+        y_pred = self.predict(x, batch_size=batch_size)
+        out = {"loss": self.loss.value(y, y_pred) + self._regularization_penalty()}
+        for name, fn in zip(self.metric_names, self.metrics):
+            out[name] = fn(y, y_pred)
+        return out
+
+    # -- introspection ---------------------------------------------------------
+    def summary(self) -> str:
+        """Keras-style text summary of the layer stack."""
+        self._require_built()
+        lines = [f"Model: {self.name}", "-" * 58]
+        lines.append(f"{'Layer':<28}{'Output shape':<18}{'Params':>10}")
+        for layer in self.layers:
+            lines.append(
+                f"{layer.name:<28}{str(layer.output_shape):<18}{layer.param_count():>10}"
+            )
+        lines.append("-" * 58)
+        lines.append(f"Total params: {self.count_params()}")
+        return "\n".join(lines)
+
+    # -- guards ------------------------------------------------------------------
+    def _require_built(self) -> None:
+        if not self.built:
+            raise RuntimeError("model not built; call build(input_shape) first")
+
+    def _require_compiled(self) -> None:
+        self._require_built()
+        if self.optimizer is None or self.loss is None:
+            raise RuntimeError("model not compiled; call compile() first")

@@ -1,0 +1,192 @@
+"""Optimizers: SGD, Adam, RMSprop — the three the CANDLE P1 suite uses.
+
+Table 1 of the paper: NT3 and P1B3 train with ``sgd``, P1B1 with
+``adam``, P1B2 with ``rmsprop``. All optimizers expose a mutable ``lr``
+attribute so the paper's *linear learning-rate scaling*
+(``lr × nprocs``, §2.3.2) and ``LearningRateScheduler`` callbacks can
+adjust it, and an ``apply_gradients`` entry point that
+:class:`repro.hvd.DistributedOptimizer` wraps to average gradients over
+ranks before the update — exactly Horovod's structure.
+
+State (momenta, moment estimates) is keyed by parameter name so
+optimizers survive weight broadcasts that replace the arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "RMSprop", "Adam", "get"]
+
+Params = Dict[str, np.ndarray]
+
+
+class Optimizer:
+    """Base optimizer.
+
+    Subclasses implement :meth:`_update_one` which mutates a single
+    parameter array in place given its gradient.
+    """
+
+    def __init__(self, lr: float = 0.01, decay: float = 0.0):
+        if lr <= 0.0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if decay < 0.0:
+            raise ValueError(f"decay must be non-negative, got {decay}")
+        self.lr = float(lr)
+        self.decay = float(decay)
+        self.iterations = 0
+        self._state: dict[str, dict[str, np.ndarray]] = {}
+
+    # -- public API ------------------------------------------------------
+    def apply_gradients(self, params: Params, grads: Params) -> None:
+        """Apply one update step to every parameter, in place.
+
+        ``params`` and ``grads`` are name-keyed dicts with matching keys;
+        missing gradients (e.g. frozen layers) are skipped.
+        """
+        self.iterations += 1
+        lr_t = self._current_lr()
+        for name, p in params.items():
+            g = grads.get(name)
+            if g is None:
+                continue
+            if g.shape != p.shape:
+                raise ValueError(
+                    f"gradient shape {g.shape} != param shape {p.shape} for {name!r}"
+                )
+            self._update_one(name, p, g, lr_t)
+
+    def scale_lr(self, factor: float) -> None:
+        """Multiply the learning rate — the paper's linear LR scaling."""
+        if factor <= 0.0:
+            raise ValueError(f"LR scale factor must be positive, got {factor}")
+        self.lr *= factor
+
+    def state_slot(self, name: str) -> dict[str, np.ndarray]:
+        """Per-parameter optimizer state (created on first use)."""
+        return self._state.setdefault(name, {})
+
+    # -- subclass hooks ----------------------------------------------------
+    def _current_lr(self) -> float:
+        if self.decay:
+            return self.lr / (1.0 + self.decay * self.iterations)
+        return self.lr
+
+    def _update_one(self, name: str, p: np.ndarray, g: np.ndarray, lr: float) -> None:
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"{type(self).__name__}(lr={self.lr})"
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and Nesterov."""
+
+    def __init__(
+        self,
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        nesterov: bool = False,
+        decay: float = 0.0,
+    ):
+        super().__init__(lr=lr, decay=decay)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self.nesterov = bool(nesterov)
+
+    def _update_one(self, name, p, g, lr):
+        if self.momentum == 0.0:
+            p -= lr * g
+            return
+        slot = self.state_slot(name)
+        v = slot.get("velocity")
+        if v is None:
+            v = slot["velocity"] = np.zeros_like(p)
+        np.multiply(v, self.momentum, out=v)
+        v -= lr * g
+        if self.nesterov:
+            p += self.momentum * v - lr * g
+        else:
+            p += v
+
+
+class RMSprop(Optimizer):
+    """RMSprop: scale each coordinate by a running RMS of its gradient."""
+
+    def __init__(self, lr: float = 0.001, rho: float = 0.9, epsilon: float = 1e-7, decay: float = 0.0):
+        super().__init__(lr=lr, decay=decay)
+        if not 0.0 <= rho < 1.0:
+            raise ValueError(f"rho must be in [0, 1), got {rho}")
+        self.rho = float(rho)
+        self.epsilon = float(epsilon)
+
+    def _update_one(self, name, p, g, lr):
+        slot = self.state_slot(name)
+        acc = slot.get("accumulator")
+        if acc is None:
+            acc = slot["accumulator"] = np.zeros_like(p)
+        np.multiply(acc, self.rho, out=acc)
+        acc += (1.0 - self.rho) * g * g
+        p -= lr * g / (np.sqrt(acc) + self.epsilon)
+
+
+class Adam(Optimizer):
+    """Adam: bias-corrected first/second moment estimates."""
+
+    def __init__(
+        self,
+        lr: float = 0.001,
+        beta_1: float = 0.9,
+        beta_2: float = 0.999,
+        epsilon: float = 1e-7,
+        decay: float = 0.0,
+    ):
+        super().__init__(lr=lr, decay=decay)
+        for nm, b in (("beta_1", beta_1), ("beta_2", beta_2)):
+            if not 0.0 <= b < 1.0:
+                raise ValueError(f"{nm} must be in [0, 1), got {b}")
+        self.beta_1 = float(beta_1)
+        self.beta_2 = float(beta_2)
+        self.epsilon = float(epsilon)
+
+    def _update_one(self, name, p, g, lr):
+        slot = self.state_slot(name)
+        m = slot.get("m")
+        if m is None:
+            m = slot["m"] = np.zeros_like(p)
+            slot["v"] = np.zeros_like(p)
+        v = slot["v"]
+        t = self.iterations
+        np.multiply(m, self.beta_1, out=m)
+        m += (1.0 - self.beta_1) * g
+        np.multiply(v, self.beta_2, out=v)
+        v += (1.0 - self.beta_2) * g * g
+        m_hat = m / (1.0 - self.beta_1**t)
+        v_hat = v / (1.0 - self.beta_2**t)
+        p -= lr * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+
+_OPTIMIZERS = {"sgd": SGD, "rmsprop": RMSprop, "adam": Adam}
+
+
+def get(spec, lr: float | None = None) -> Optimizer:
+    """Resolve an optimizer from a name or instance.
+
+    ``lr=None`` keeps each optimizer's Keras default (P1B1 passes no
+    learning rate in Table 1, so Adam's default 0.001 applies).
+    """
+    if isinstance(spec, Optimizer):
+        if lr is not None:
+            spec.lr = float(lr)
+        return spec
+    try:
+        cls = _OPTIMIZERS[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown optimizer {spec!r}; known: {sorted(_OPTIMIZERS)}"
+        ) from None
+    return cls() if lr is None else cls(lr=lr)

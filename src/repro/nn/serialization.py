@@ -1,0 +1,108 @@
+"""Checkpoint/restart: model + optimizer state serialization.
+
+The paper's future work (§7): "We will add checkpoint/restart features
+to the Horovod benchmarks for fault tolerance." This module provides
+it: a checkpoint is an ``.npz`` holding every named parameter, every
+optimizer state slot, and the optimizer's step counter/LR — enough to
+resume training *exactly* (bit-for-bit with a fixed shuffle order).
+
+The Horovod-side callback that writes checkpoints from rank 0 and
+restores+broadcasts on restart lives in :mod:`repro.hvd.callbacks`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["save_checkpoint", "load_checkpoint", "CheckpointError"]
+
+_FORMAT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """Checkpoint file is missing, corrupt, or mismatched."""
+
+
+def _optimizer_of(model):
+    opt = model.optimizer
+    # DistributedOptimizer proxies state to its base optimizer
+    return getattr(opt, "base", opt)
+
+
+def save_checkpoint(model, path, epoch: Optional[int] = None) -> None:
+    """Write model weights + optimizer state + metadata to ``path``.
+
+    The model must be compiled (the optimizer is part of the state).
+    """
+    model._require_compiled()
+    opt = _optimizer_of(model)
+    arrays: dict[str, np.ndarray] = {}
+    for name, param in model.named_parameters().items():
+        arrays[f"param::{name}"] = param
+    for pname, slots in opt._state.items():
+        for slot, arr in slots.items():
+            arrays[f"state::{pname}::{slot}"] = arr
+    meta = {
+        "version": _FORMAT_VERSION,
+        "epoch": epoch,
+        "optimizer": type(opt).__name__,
+        "lr": opt.lr,
+        "iterations": opt.iterations,
+        "param_names": sorted(model.named_parameters()),
+    }
+    arrays["meta::json"] = np.frombuffer(
+        json.dumps(meta).encode(), dtype=np.uint8
+    ).copy()
+    np.savez(path, **arrays)
+
+
+def load_checkpoint(model, path) -> dict:
+    """Restore weights + optimizer state in place; returns the metadata.
+
+    Validates that the checkpoint's parameter set matches the model —
+    resuming into a different architecture fails loudly.
+    """
+    model._require_compiled()
+    try:
+        with np.load(path) as data:
+            arrays = {key: data[key] for key in data.files}
+    except (OSError, ValueError) as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+
+    meta_raw = arrays.pop("meta::json", None)
+    if meta_raw is None:
+        raise CheckpointError(f"{path!r} is not a repro checkpoint (no metadata)")
+    meta = json.loads(bytes(meta_raw.tobytes()).decode())
+    if meta.get("version") != _FORMAT_VERSION:
+        raise CheckpointError(
+            f"checkpoint version {meta.get('version')} != {_FORMAT_VERSION}"
+        )
+
+    params = model.named_parameters()
+    saved_names = {k[len("param::"):] for k in arrays if k.startswith("param::")}
+    if saved_names != set(params):
+        missing = sorted(set(params) - saved_names)
+        extra = sorted(saved_names - set(params))
+        raise CheckpointError(
+            f"parameter mismatch: missing {missing}, unexpected {extra}"
+        )
+    for name, param in params.items():
+        saved = arrays[f"param::{name}"]
+        if saved.shape != param.shape:
+            raise CheckpointError(
+                f"shape mismatch for {name!r}: {saved.shape} vs {param.shape}"
+            )
+        np.copyto(param, saved)
+
+    opt = _optimizer_of(model)
+    opt._state.clear()
+    for key, arr in arrays.items():
+        if key.startswith("state::"):
+            _, pname, slot = key.split("::", 2)
+            opt._state.setdefault(pname, {})[slot] = arr.copy()
+    opt.lr = float(meta["lr"])
+    opt.iterations = int(meta["iterations"])
+    return meta

@@ -1,0 +1,51 @@
+"""Parameter-server communication cost model.
+
+The server's network endpoint serializes all worker traffic: each step
+moves ``2 * nbytes * nworkers`` through one link (every worker pushes a
+full gradient and pulls full weights), so per-step time grows linearly
+with worker count. A ring allreduce moves ``2 * nbytes * (p-1)/p`` per
+link — near-constant. This asymmetry is the quantitative form of the
+paper's §1 judgment that gRPC-distributed TensorFlow "is difficult to
+use and optimize" at scale, and of Horovod's raison d'être.
+
+Sharding the server over ``nshards`` hosts divides the bottleneck link
+but cannot change the linear shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mpi.network import FabricSpec
+
+__all__ = ["PsCostModel"]
+
+
+@dataclass(frozen=True)
+class PsCostModel:
+    """Per-step time of parameter-server gradient exchange."""
+
+    fabric: FabricSpec
+    nshards: int = 1
+
+    def __post_init__(self):
+        if self.nshards < 1:
+            raise ValueError(f"nshards must be >= 1, got {self.nshards}")
+
+    def step_seconds(self, nbytes: int, nworkers: int) -> float:
+        """One synchronous push+pull cycle for all workers."""
+        if nworkers < 1:
+            raise ValueError(f"nworkers must be >= 1, got {nworkers}")
+        alpha, beta = self.fabric.link(spans_nodes=True)
+        per_shard_bytes = nbytes / self.nshards
+        # the shard's link carries every worker's push and pull serially
+        volume = 2.0 * per_shard_bytes * nworkers
+        messages = 2 * nworkers
+        return messages * alpha + volume * beta
+
+    def crossover_workers(self, nbytes: int, allreduce_model, max_workers: int = 8192) -> int:
+        """Smallest worker count where the ring allreduce beats PS."""
+        for n in range(2, max_workers + 1):
+            if allreduce_model.allreduce_hierarchical(nbytes, n) < self.step_seconds(nbytes, n):
+                return n
+        return max_workers

@@ -1,0 +1,175 @@
+"""Analytic data-loading time model (calibrated to Tables 3 & 4).
+
+One CSV load decomposes exactly like :mod:`repro.frame.csv`'s engines:
+
+slow (``low_memory=True``, the original CANDLE loader)::
+
+    t = per_file + bytes * conv_slow_pb
+        + n_internal_chunks * cols * slow_per_colchunk * difficulty
+        + io(bytes, N)
+
+    n_internal_chunks = rows / max(1, SLOW_CHUNK_BYTES // row_bytes)
+
+The block term is the whole story for the wide genomics files: NT3's
+533 KB rows force one row per 256 KB internal chunk, so the per-column
+block cost is paid ``rows x cols`` times (67.7M for NT3 → ~72 s),
+while P1B3's 353 B rows pack ~740 rows per chunk and the term vanishes
+— which is precisely the paper's Table 3 contrast.
+
+fast (``low_memory=False`` chunked, the paper's fix)::
+
+    t = per_file + bytes * conv_fast_pb + cells * fast_per_cell + io(bytes, N)
+
+dask sits between the two (§5: "better than the original method but
+worse than the data loading in chunks with low_memory=False").
+
+``io(bytes, N)`` is the filesystem read under N-client contention
+(:class:`repro.cluster.filesystem.FilesystemSpec`): negligible for one
+client, dominant on Theta's Lustre at hundreds of clients.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.candle.base import BenchmarkSpec
+from repro.cluster.machine import MachineSpec, ParseRates
+
+__all__ = ["FileShape", "IoModel", "benchmark_files", "LOAD_METHODS"]
+
+LOAD_METHODS = ("original", "chunked", "dask")
+
+
+@dataclass(frozen=True)
+class FileShape:
+    """Geometry of one CSV file."""
+
+    name: str
+    rows: int
+    cols: int
+    nbytes: int
+    #: slow-path block-cost multiplier inherited from the benchmark
+    difficulty: float = 1.0
+
+    def __post_init__(self):
+        if self.rows <= 0 or self.cols <= 0 or self.nbytes <= 0:
+            raise ValueError(f"file geometry must be positive: {self}")
+        if self.difficulty <= 0:
+            raise ValueError(f"difficulty must be positive: {self}")
+
+    @property
+    def cells(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def row_bytes(self) -> float:
+        return self.nbytes / self.rows
+
+    def internal_chunks(self, budget_bytes: int) -> int:
+        """Slow-path internal chunk count under a byte budget."""
+        rows_per_chunk = max(1, int(budget_bytes // max(1.0, self.row_bytes)))
+        return math.ceil(self.rows / rows_per_chunk)
+
+
+def benchmark_files(spec: BenchmarkSpec) -> Tuple[FileShape, FileShape]:
+    """(train, test) file shapes of a benchmark at full Table 1 scale."""
+    if spec.csv_cols is not None:
+        cols = spec.csv_cols
+    else:
+        cols = spec.elements_per_sample + (0 if spec.task == "autoencoder" else 1)
+    train = FileShape(
+        name=f"{spec.name.lower()}_train",
+        rows=spec.train_samples,
+        cols=cols,
+        nbytes=spec.train_bytes,
+        difficulty=spec.parse_difficulty,
+    )
+    test = FileShape(
+        name=f"{spec.name.lower()}_test",
+        rows=spec.test_samples,
+        cols=cols,
+        nbytes=spec.test_bytes,
+        difficulty=spec.parse_difficulty,
+    )
+    return train, test
+
+
+class IoModel:
+    """Data-loading seconds for files on a machine, by method."""
+
+    #: where the Dask comparator lands between slow and fast (§5)
+    DASK_FRACTION = 0.35
+
+    def __init__(self, machine: MachineSpec):
+        self.machine = machine
+
+    # -- parse components -------------------------------------------------
+    def parse_seconds(self, shape: FileShape, method: str) -> float:
+        """CPU-side parse time (contention-free)."""
+        p = self.machine.parse
+        if method == "original":
+            return self._slow_parse(shape, p)
+        if method == "chunked":
+            return self._fast_parse(shape, p)
+        if method == "dask":
+            slow = self._slow_parse(shape, p)
+            fast = self._fast_parse(shape, p)
+            return fast + self.DASK_FRACTION * (slow - fast)
+        raise ValueError(f"unknown method {method!r}; known: {LOAD_METHODS}")
+
+    @staticmethod
+    def _slow_parse(shape: FileShape, p: ParseRates) -> float:
+        chunks = shape.internal_chunks(ParseRates.SLOW_CHUNK_BYTES)
+        return (
+            p.per_file
+            + shape.nbytes * p.conv_slow_pb
+            + chunks * shape.cols * p.slow_per_colchunk * shape.difficulty
+        )
+
+    @staticmethod
+    def _fast_parse(shape: FileShape, p: ParseRates) -> float:
+        return (
+            p.per_file
+            + shape.nbytes * p.conv_fast_pb
+            + shape.cells * p.fast_per_cell
+        )
+
+    # -- totals --------------------------------------------------------------
+    def read_seconds(self, shape: FileShape, nclients: int) -> float:
+        """Filesystem time for one client among ``nclients``."""
+        return self.machine.filesystem.read_time_s(shape.nbytes, nclients)
+
+    def load_seconds(self, shape: FileShape, method: str, nclients: int = 1) -> float:
+        """Total per-rank load time for one file.
+
+        Shared-read contention multiplies the parse pipeline (client
+        stalls interleave with parsing — see FilesystemSpec) and the raw
+        transfer pays its aggregate-bandwidth share.
+        """
+        if nclients < 1:
+            raise ValueError(f"nclients must be >= 1, got {nclients}")
+        contention = self.machine.filesystem.parse_contention_factor(nclients)
+        return self.parse_seconds(shape, method) * contention + self.read_seconds(
+            shape, nclients
+        )
+
+    def benchmark_load_seconds(
+        self, spec: BenchmarkSpec, method: str, nclients: int = 1
+    ) -> float:
+        """Train + test file load time for a benchmark (phase 1 total)."""
+        train, test = benchmark_files(spec)
+        return self.load_seconds(train, method, nclients) + self.load_seconds(
+            test, method, nclients
+        )
+
+    def table_row(self, spec: BenchmarkSpec) -> Dict[str, float]:
+        """One benchmark's Table 3/4 row: single-client seconds per file."""
+        train, test = benchmark_files(spec)
+        return {
+            "train_original": self.load_seconds(train, "original"),
+            "train_chunked": self.load_seconds(train, "chunked"),
+            "test_original": self.load_seconds(test, "original"),
+            "test_chunked": self.load_seconds(test, "chunked"),
+        }

@@ -1,0 +1,30 @@
+"""repro.supervisor — the CANDLE/Supervisor workflow framework.
+
+Figure 1(b) of the paper places the "CANDLE supervisor and workflow
+manager" above the benchmarks: "Each benchmark … implements a common
+interface used by higher-level Python-based driver systems, such as the
+CANDLE/Supervisor framework for hyperparameter optimization" (§1,
+citing Wozniak et al.). This package reimplements that driver layer:
+
+- :class:`ParameterSpace` — named hyperparameter domains (the paper's
+  studied knobs: epochs, batch size, learning rate, plus anything else)
+  with grid enumeration and seeded random sampling.
+- :class:`Supervisor` — schedules trials over a bounded worker pool,
+  evaluates each through a user-supplied runner (functional training or
+  the simulator), and records everything in a :class:`ResultsDB`.
+- :class:`ResultsDB` — queryable trial records with JSON persistence
+  (the "database" box of Figure 1b).
+"""
+
+from repro.supervisor.db import ResultsDB, TrialRecord
+from repro.supervisor.search import GridSearch, ParameterSpace, RandomSearch
+from repro.supervisor.workflow import Supervisor
+
+__all__ = [
+    "ParameterSpace",
+    "GridSearch",
+    "RandomSearch",
+    "Supervisor",
+    "ResultsDB",
+    "TrialRecord",
+]

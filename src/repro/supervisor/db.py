@@ -1,0 +1,95 @@
+"""Trial records and the results database (Figure 1b's database box)."""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["TrialRecord", "ResultsDB"]
+
+
+@dataclass
+class TrialRecord:
+    """One evaluated configuration."""
+
+    trial_id: int
+    config: Dict[str, Any]
+    metrics: Dict[str, float]
+    status: str = "completed"  # completed | failed
+    error: Optional[str] = None
+    wall_seconds: float = 0.0
+    timestamp: float = field(default_factory=time.time)
+
+    def metric(self, name: str) -> float:
+        try:
+            return self.metrics[name]
+        except KeyError:
+            raise KeyError(
+                f"trial {self.trial_id} has no metric {name!r}; "
+                f"known: {sorted(self.metrics)}"
+            ) from None
+
+
+class ResultsDB:
+    """Append-only trial store with queries and JSON persistence."""
+
+    def __init__(self):
+        self._records: List[TrialRecord] = []
+
+    def add(self, record: TrialRecord) -> None:
+        if any(r.trial_id == record.trial_id for r in self._records):
+            raise ValueError(f"duplicate trial_id {record.trial_id}")
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> List[TrialRecord]:
+        return list(self._records)
+
+    def completed(self) -> List[TrialRecord]:
+        return [r for r in self._records if r.status == "completed"]
+
+    def failed(self) -> List[TrialRecord]:
+        return [r for r in self._records if r.status == "failed"]
+
+    def best(self, metric: str, mode: str = "min") -> TrialRecord:
+        """The best completed trial by a metric."""
+        if mode not in ("min", "max"):
+            raise ValueError(f"mode must be min|max, got {mode!r}")
+        done = [r for r in self.completed() if metric in r.metrics]
+        if not done:
+            raise ValueError(f"no completed trials with metric {metric!r}")
+        key: Callable = lambda r: r.metrics[metric]  # noqa: E731
+        return min(done, key=key) if mode == "min" else max(done, key=key)
+
+    def top_k(self, metric: str, k: int = 5, mode: str = "min") -> List[TrialRecord]:
+        done = [r for r in self.completed() if metric in r.metrics]
+        done.sort(key=lambda r: r.metrics[metric], reverse=(mode == "max"))
+        return done[:k]
+
+    def as_rows(self) -> List[dict]:
+        """Flat dicts for table rendering."""
+        rows = []
+        for r in sorted(self._records, key=lambda r: r.trial_id):
+            row = {"trial": r.trial_id, "status": r.status}
+            row.update({f"cfg_{k}": v for k, v in r.config.items()})
+            row.update({k: round(v, 5) for k, v in r.metrics.items()})
+            rows.append(row)
+        return rows
+
+    # -- persistence --------------------------------------------------------
+    def save(self, path) -> None:
+        with open(path, "w") as fh:
+            json.dump([asdict(r) for r in self._records], fh, indent=1)
+
+    @classmethod
+    def load(cls, path) -> "ResultsDB":
+        db = cls()
+        with open(path) as fh:
+            for raw in json.load(fh):
+                db.add(TrialRecord(**raw))
+        return db

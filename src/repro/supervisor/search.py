@@ -1,0 +1,120 @@
+"""Hyperparameter spaces and search strategies."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterator, List, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["ParameterSpace", "GridSearch", "RandomSearch"]
+
+#: a domain is a list of choices, or ("uniform"|"loguniform", lo, hi)
+Domain = Union[Sequence[Any], Tuple[str, float, float]]
+
+
+class ParameterSpace:
+    """Named hyperparameter domains.
+
+    Discrete domains are given as sequences (``[16, 32, 64]``);
+    continuous ones as ``("uniform", lo, hi)`` or
+    ``("loguniform", lo, hi)`` — learning rates want the latter.
+    """
+
+    def __init__(self, **domains: Domain):
+        if not domains:
+            raise ValueError("a parameter space needs at least one domain")
+        self.discrete: Dict[str, list] = {}
+        self.continuous: Dict[str, tuple] = {}
+        for name, domain in domains.items():
+            if (
+                isinstance(domain, tuple)
+                and len(domain) == 3
+                and domain[0] in ("uniform", "loguniform")
+            ):
+                kind, lo, hi = domain
+                if not lo < hi:
+                    raise ValueError(f"{name}: need lo < hi, got {lo} >= {hi}")
+                if kind == "loguniform" and lo <= 0:
+                    raise ValueError(f"{name}: loguniform needs lo > 0")
+                self.continuous[name] = (kind, float(lo), float(hi))
+            elif isinstance(domain, (list, tuple, range)):
+                values = list(domain)
+                if not values:
+                    raise ValueError(f"{name}: empty choice list")
+                self.discrete[name] = values
+            else:
+                raise ValueError(
+                    f"{name}: domain must be a sequence or (kind, lo, hi) tuple"
+                )
+
+    @property
+    def names(self) -> List[str]:
+        return list(self.discrete) + list(self.continuous)
+
+    def grid_size(self) -> int:
+        """Number of grid points (continuous domains are not grid-able)."""
+        if self.continuous:
+            raise ValueError(
+                f"grid search needs discrete domains only; "
+                f"continuous: {sorted(self.continuous)}"
+            )
+        size = 1
+        for values in self.discrete.values():
+            size *= len(values)
+        return size
+
+    def grid(self) -> Iterator[Dict[str, Any]]:
+        """Every combination of the discrete domains, in stable order."""
+        self.grid_size()  # validates
+        names = list(self.discrete)
+        for combo in itertools.product(*(self.discrete[n] for n in names)):
+            yield dict(zip(names, combo))
+
+    def sample(self, rng: np.random.Generator) -> Dict[str, Any]:
+        """One random configuration across all domains."""
+        config: Dict[str, Any] = {}
+        for name, values in self.discrete.items():
+            config[name] = values[int(rng.integers(0, len(values)))]
+        for name, (kind, lo, hi) in self.continuous.items():
+            if kind == "uniform":
+                config[name] = float(rng.uniform(lo, hi))
+            else:
+                config[name] = float(np.exp(rng.uniform(np.log(lo), np.log(hi))))
+        return config
+
+
+class GridSearch:
+    """Exhaustive enumeration of a discrete space."""
+
+    def __init__(self, space: ParameterSpace):
+        self.space = space
+
+    def configurations(self) -> List[Dict[str, Any]]:
+        return list(self.space.grid())
+
+
+class RandomSearch:
+    """Seeded random sampling; duplicate configs are skipped."""
+
+    def __init__(self, space: ParameterSpace, n_trials: int, seed: int = 0):
+        if n_trials <= 0:
+            raise ValueError(f"n_trials must be positive, got {n_trials}")
+        self.space = space
+        self.n_trials = int(n_trials)
+        self.seed = seed
+
+    def configurations(self) -> List[Dict[str, Any]]:
+        rng = np.random.default_rng(self.seed)
+        out: List[Dict[str, Any]] = []
+        seen = set()
+        attempts = 0
+        while len(out) < self.n_trials and attempts < self.n_trials * 50:
+            config = self.space.sample(rng)
+            key = tuple(sorted((k, repr(v)) for k, v in config.items()))
+            attempts += 1
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(config)
+        return out

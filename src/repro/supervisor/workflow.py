@@ -1,0 +1,101 @@
+"""The Supervisor: schedule trials, collect results, survive failures.
+
+The runner callable receives ``(config, trial_seed)`` and returns a
+metrics dict — typically wrapping
+:func:`repro.core.parallel.run_parallel_benchmark` (real training) or
+:func:`repro.sim.simulate_run` (paper-scale cost). Failed trials are
+recorded, not fatal: a hyperparameter search must outlive diverging or
+OOM-ing configurations (the paper's P1B3 linear-scaling failures are
+exactly such trials).
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, Optional, Sequence
+
+from repro.supervisor.db import ResultsDB, TrialRecord
+
+__all__ = ["Supervisor"]
+
+Runner = Callable[[Dict[str, Any], int], Dict[str, float]]
+
+
+class Supervisor:
+    """Run a search strategy's configurations through a runner."""
+
+    def __init__(
+        self,
+        runner: Runner,
+        max_parallel: int = 1,
+        base_seed: int = 0,
+        verbose: bool = False,
+    ):
+        if max_parallel <= 0:
+            raise ValueError(f"max_parallel must be positive, got {max_parallel}")
+        self.runner = runner
+        self.max_parallel = int(max_parallel)
+        self.base_seed = int(base_seed)
+        self.verbose = bool(verbose)
+
+    def _run_one(self, trial_id: int, config: Dict[str, Any]) -> TrialRecord:
+        t0 = time.perf_counter()
+        try:
+            metrics = self.runner(dict(config), self.base_seed + trial_id)
+            if not isinstance(metrics, dict):
+                raise TypeError(
+                    f"runner must return a metrics dict, got {type(metrics)!r}"
+                )
+            record = TrialRecord(
+                trial_id=trial_id,
+                config=config,
+                metrics={k: float(v) for k, v in metrics.items()},
+                wall_seconds=time.perf_counter() - t0,
+            )
+        except Exception as exc:  # noqa: BLE001 — searches must survive trials
+            record = TrialRecord(
+                trial_id=trial_id,
+                config=config,
+                metrics={},
+                status="failed",
+                error=f"{type(exc).__name__}: {exc}",
+                wall_seconds=time.perf_counter() - t0,
+            )
+            if self.verbose:
+                traceback.print_exc()
+        if self.verbose:
+            print(f"[trial {trial_id}] {record.status} {config} -> {record.metrics}")
+        return record
+
+    def run(
+        self,
+        strategy,
+        db: Optional[ResultsDB] = None,
+    ) -> ResultsDB:
+        """Evaluate every configuration of ``strategy``; returns the DB.
+
+        ``strategy`` is anything with ``configurations()`` (GridSearch,
+        RandomSearch, or a plain list wrapped by :meth:`run_configs`).
+        """
+        return self.run_configs(strategy.configurations(), db=db)
+
+    def run_configs(
+        self,
+        configs: Sequence[Dict[str, Any]],
+        db: Optional[ResultsDB] = None,
+    ) -> ResultsDB:
+        db = db if db is not None else ResultsDB()
+        start = len(db)
+        indexed = list(enumerate(configs, start=start))
+        if self.max_parallel == 1:
+            records = [self._run_one(i, c) for i, c in indexed]
+        else:
+            with ThreadPoolExecutor(max_workers=self.max_parallel) as pool:
+                records = list(
+                    pool.map(lambda ic: self._run_one(*ic), indexed)
+                )
+        for record in records:
+            db.add(record)
+        return db

@@ -1,0 +1,136 @@
+"""Analysis layer: profiler, timeline analysis, energy comparisons, tables."""
+
+import time
+
+import pytest
+
+from repro.analysis import (
+    PhaseProfiler,
+    broadcast_overhead_seconds,
+    communication_summary,
+    compare_runs,
+    format_series,
+    format_table,
+    profile_callable,
+)
+from repro.analysis.timeline_analysis import allreduce_total_seconds
+from repro.hvd import Timeline
+
+
+class TestPhaseProfiler:
+    def test_accumulates_and_counts(self):
+        p = PhaseProfiler()
+        with p.phase("load"):
+            time.sleep(0.02)
+        with p.phase("load"):
+            time.sleep(0.02)
+        with p.phase("train"):
+            time.sleep(0.01)
+        assert p.counts["load"] == 2
+        assert p.seconds["load"] > p.seconds["train"]
+        assert p.dominant_phase() == "load"
+        assert 0 < p.fraction("train") < 0.5
+
+    def test_exception_still_records(self):
+        p = PhaseProfiler()
+        with pytest.raises(RuntimeError):
+            with p.phase("boom"):
+                raise RuntimeError
+        assert "boom" in p.seconds
+
+    def test_empty_profiler(self):
+        p = PhaseProfiler()
+        assert p.fraction("x") == 0.0
+        with pytest.raises(ValueError):
+            p.dominant_phase()
+
+
+def test_profile_callable_finds_hotspot():
+    def hot():
+        return sum(i * i for i in range(200_000))
+
+    result, report = profile_callable(hot, top=5)
+    assert result == sum(i * i for i in range(200_000))
+    assert "cumulative" in report
+
+
+class TestTimelineAnalysis:
+    def _timeline(self):
+        tl = Timeline()
+        tl.record("negotiate_broadcast", 0, 10.0, 40.0)
+        tl.record("negotiate_broadcast", 1, 48.0, 2.0)
+        tl.record("mpi_broadcast", 0, 50.0, 1.5)
+        tl.record("mpi_broadcast", 1, 50.0, 1.5)
+        tl.record("nccl_allreduce", 0, 60.0, 0.2)
+        tl.record("nccl_allreduce", 0, 61.0, 0.3)
+        return tl
+
+    def test_broadcast_overhead_span(self):
+        # first negotiate at 10, last broadcast ends 51.5 -> 41.5 s
+        assert broadcast_overhead_seconds(self._timeline()) == pytest.approx(41.5)
+
+    def test_empty_timeline(self):
+        assert broadcast_overhead_seconds(Timeline()) == 0.0
+
+    def test_allreduce_total_per_rank(self):
+        assert allreduce_total_seconds(self._timeline(), rank=0) == pytest.approx(0.5)
+        assert allreduce_total_seconds(self._timeline(), rank=1) == 0.0
+
+    def test_communication_summary(self):
+        s = communication_summary(self._timeline())
+        assert s["negotiate_broadcast_n"] == 2
+        assert s["negotiate_broadcast_s"] == pytest.approx(42.0)
+        assert s["nccl_allreduce_n"] == 2
+
+
+class TestEnergyComparison:
+    def test_compare_runs(self):
+        from repro.candle.nt3 import NT3_SPEC
+        from repro.core.scaling import strong_scaling_plan
+        from repro.sim import simulate_run
+
+        plan = strong_scaling_plan(NT3_SPEC, 48)
+        orig = simulate_run(NT3_SPEC, "summit", plan, method="original")
+        opt = simulate_run(NT3_SPEC, "summit", plan, method="chunked")
+        comp = compare_runs(orig, opt)
+        assert comp.performance_improvement_pct > 0
+        assert comp.energy_saving_pct > 0
+        assert comp.power_increase_pct > 0
+        row = comp.as_row()
+        assert row["workers"] == 48
+
+    def test_mismatched_runs_rejected(self):
+        from repro.candle.nt3 import NT3_SPEC
+        from repro.core.scaling import strong_scaling_plan
+        from repro.sim import simulate_run
+
+        a = simulate_run(NT3_SPEC, "summit", strong_scaling_plan(NT3_SPEC, 6))
+        b = simulate_run(NT3_SPEC, "summit", strong_scaling_plan(NT3_SPEC, 12))
+        with pytest.raises(ValueError, match="worker count"):
+            compare_runs(a, b)
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            [{"a": 1, "b": 2.5}, {"a": 10, "b": 123456.0}], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_handles_missing_keys(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}])
+        assert "b" in text
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_series(self):
+        text = format_series([1, 2], {"y": [10, 20]}, x_name="n")
+        assert "n" in text and "10" in text
+
+    def test_format_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series([1, 2], {"y": [1]})

@@ -1,0 +1,83 @@
+"""Gradient noise scale estimator (paper ref [20])."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.noise_scale import estimate_noise_scale
+from repro.nn import SGD, Activation, Dense, Sequential
+
+
+def _model(seed=0, f=6):
+    m = Sequential([Dense(4, activation="tanh"), Dense(2), Activation("softmax")])
+    m.build((f,), seed=seed)
+    m.compile(SGD(lr=0.1), "categorical_crossentropy")
+    return m
+
+
+def _data(seed=0, n=400, f=6, label_noise=0.0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, f))
+    labels = (x[:, 0] > 0).astype(int)
+    flip = rng.random(n) < label_noise
+    labels = np.where(flip, 1 - labels, labels)
+    return x, np.eye(2)[labels]
+
+
+def test_duplicated_samples_have_near_zero_noise():
+    """If every sample is identical, per-sample gradients agree: tr(Sigma)≈0."""
+    rng = np.random.default_rng(1)
+    x_one = rng.normal(size=(1, 6))
+    x = np.repeat(x_one, 200, axis=0)
+    y = np.repeat(np.eye(2)[[0]], 200, axis=0)
+    est = estimate_noise_scale(_model(), x, y, b_small=4, b_big=64, draws=6)
+    assert est.b_noise < 1.0  # essentially noiseless
+
+
+def test_noisier_labels_raise_b_noise():
+    m = _model(seed=2)
+    x_clean, y_clean = _data(seed=3, label_noise=0.0)
+    x_noisy, y_noisy = _data(seed=3, label_noise=0.45)
+    clean = estimate_noise_scale(m, x_clean, y_clean, 8, 128, draws=10)
+    noisy = estimate_noise_scale(m, x_noisy, y_noisy, 8, 128, draws=10)
+    assert noisy.b_noise > clean.b_noise
+
+
+def test_weights_untouched():
+    m = _model()
+    x, y = _data()
+    before = m.get_weights()
+    estimate_noise_scale(m, x, y, 8, 64, draws=3)
+    for a, b in zip(before, m.get_weights()):
+        assert np.array_equal(a, b)
+
+
+def test_verdicts():
+    from repro.analysis.noise_scale import NoiseScaleEstimate
+
+    est = NoiseScaleEstimate(
+        grad_norm_sq=1.0, noise_trace=100.0, b_small=8, b_big=64, draws=4
+    )
+    assert est.b_noise == pytest.approx(100.0)
+    assert "scale up" in est.verdict(5)
+    assert "wasted" in est.verdict(5000)
+    assert "efficient" in est.verdict(100)
+
+
+def test_zero_signal_gives_infinite_b_noise():
+    from repro.analysis.noise_scale import NoiseScaleEstimate
+
+    est = NoiseScaleEstimate(
+        grad_norm_sq=0.0, noise_trace=5.0, b_small=2, b_big=4, draws=1
+    )
+    assert est.b_noise == float("inf")
+
+
+def test_validation():
+    m = _model()
+    x, y = _data(n=50)
+    with pytest.raises(ValueError):
+        estimate_noise_scale(m, x, y, 16, 8)
+    with pytest.raises(ValueError):
+        estimate_noise_scale(m, x, y, 8, 999)
+    with pytest.raises(ValueError):
+        estimate_noise_scale(m, x, y, 8, 16, draws=0)

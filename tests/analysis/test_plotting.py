@@ -1,0 +1,65 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis import bar_chart, line_chart, power_strip
+
+
+class TestLineChart:
+    def test_renders_series_and_legend(self):
+        text = line_chart(
+            [1, 6, 48, 384],
+            {"orig": [100, 90, 80, 70], "opt": [50, 45, 40, 35]},
+            log_x=True,
+            title="T",
+        )
+        assert text.startswith("T")
+        assert "o orig" in text and "x opt" in text
+        assert "100" in text and "35" in text
+
+    def test_marker_positions_monotone(self):
+        text = line_chart([1, 2, 3], {"y": [0, 5, 10]}, width=30, height=5)
+        rows = [i for i, line in enumerate(text.splitlines()) if "o" in line]
+        assert rows == sorted(rows)  # increasing y -> markers climb upward
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart([], {"y": []})
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {"y": [1]})
+
+    def test_constant_series_ok(self):
+        assert "o" in line_chart([1, 2], {"y": [5, 5]})
+
+
+class TestBarChart:
+    def test_bars_scale_to_max(self):
+        text = bar_chart(["a", "b"], [10, 20], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1, 2])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [0.0])
+
+
+class TestPowerStrip:
+    def test_strip_length_and_range(self):
+        times = list(range(100))
+        watts = [50.0] * 60 + [250.0] * 40  # load plateau then training
+        text = power_strip(times, watts, width=50, title="GPU")
+        header, strip = text.splitlines()
+        assert "50W..250W" in header
+        assert len(strip) == 50
+        assert strip[0] == "." and strip[-1] == "@"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            power_strip([1], [1, 2])
+        with pytest.raises(ValueError):
+            power_strip([], [])

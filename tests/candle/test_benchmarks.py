@@ -1,0 +1,106 @@
+"""Benchmark models, data arrays, and file roundtrips."""
+
+import numpy as np
+import pytest
+
+from repro.candle import all_benchmarks, get_benchmark
+from repro.frame import read_csv
+
+SCALE = 0.01
+
+
+@pytest.fixture(params=["nt3", "p1b1", "p1b2", "p1b3"])
+def bench(request):
+    return get_benchmark(request.param, scale=SCALE)
+
+
+def test_model_builds_and_counts_params(bench):
+    m = bench.build_model(seed=0)
+    assert m.built
+    assert m.count_params() > 0
+
+
+def test_model_forward_shape(bench, rng):
+    m = bench.build_model(seed=0)
+    d = bench.synth_arrays(rng)
+    out = m.predict(d.x_train[:8])
+    assert out.shape[0] == 8
+    assert out.shape[1:] == d.y_train.shape[1:]
+
+
+def test_synth_arrays_geometry(bench, rng):
+    d = bench.synth_arrays(rng)
+    assert len(d.x_train) == bench.train_samples
+    assert len(d.x_test) == bench.test_samples
+    assert d.load_seconds == 0.0
+
+
+def test_file_roundtrip_preserves_values(bench, tmp_path, rng):
+    train, test = bench.write_files(tmp_path, rng=rng)
+    ld = bench.from_frames(
+        read_csv(train, header=None, low_memory=False),
+        read_csv(test, header=None, low_memory=False),
+    )
+    fresh = bench.synth_arrays(np.random.default_rng(0))
+    assert ld.x_train.shape == fresh.x_train.shape
+    assert ld.y_train.shape == fresh.y_train.shape
+
+
+def test_nt3_file_layout_label_first(tmp_path, rng):
+    b = get_benchmark("nt3", scale=SCALE)
+    train, _ = b.write_files(tmp_path, rng=rng)
+    df = read_csv(train, header=None, low_memory=False)
+    labels = df[0]
+    assert set(np.unique(labels)) <= {0, 1}
+    assert df.shape[1] == b.features + 1
+
+
+def test_p1b1_file_has_no_label_column(tmp_path, rng):
+    b = get_benchmark("p1b1", scale=SCALE)
+    train, _ = b.write_files(tmp_path, rng=rng)
+    df = read_csv(train, header=None, low_memory=False)
+    assert df.shape[1] == b.features
+    ld = b.from_frames(df, df)
+    assert np.array_equal(ld.x_train, ld.y_train)  # autoencoder target = input
+
+
+def test_p1b3_conv_variant_builds():
+    b = get_benchmark("p1b3", scale=0.02, conv=True)
+    m = b.build_model(seed=1)
+    x = np.random.default_rng(0).random((4, b.features))
+    out = m.predict(b.prepare_x(x))
+    assert out.shape == (4, 1)
+
+
+def test_describe_contains_table1_fields(bench):
+    d = bench.describe()
+    for key in ("benchmark", "epochs", "batch_size", "optimizer", "steps_per_epoch"):
+        assert key in d
+
+
+@pytest.mark.parametrize("name,loss_drop", [("nt3", 0.03), ("p1b1", 0.2), ("p1b2", 0.03), ("p1b3", 0.02)])
+def test_each_benchmark_learns(name, loss_drop, rng):
+    """A few epochs of real training must reduce the loss measurably."""
+    b = get_benchmark(name, scale=0.01, sample_scale=0.1 if name == "p1b3" else 0.3)
+    d = b.synth_arrays(rng)
+    m = b.build_model(seed=2)
+    loss = {"nt3": "categorical_crossentropy", "p1b2": "categorical_crossentropy"}.get(
+        name, "mse"
+    )
+    m.compile(b.spec.optimizer, loss, lr=b.spec.learning_rate)
+    h = m.fit(d.x_train, d.y_train, batch_size=b.effective_batch_size(), epochs=6)
+    first, last = h.history["loss"][0], h.history["loss"][-1]
+    assert last < first * (1 - loss_drop), f"{name}: {first} -> {last}"
+
+
+def test_nt3_generalizes_to_test_split(rng):
+    """Train and test must come from one generative model: a trained
+    model's *test* accuracy has to be high (regression guard for
+    independently-drawn splits)."""
+    b = get_benchmark("nt3", scale=0.01, sample_scale=0.3)
+    d = b.synth_arrays(rng)
+    m = b.build_model(seed=1)
+    m.compile("sgd", "categorical_crossentropy", metrics=["accuracy"], lr=0.004)
+    m.fit(d.x_train, d.y_train, batch_size=20, epochs=10)
+    out = m.evaluate(d.x_test, d.y_test)
+    assert out["accuracy"] > 0.85, out

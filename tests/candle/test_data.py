@@ -1,0 +1,95 @@
+"""Synthetic data generators: geometry, signal, learnability."""
+
+import numpy as np
+import pytest
+
+from repro.candle import data
+
+
+class TestExpressionClassification:
+    def test_shapes_and_balance(self, rng):
+        x, y = data.expression_classification(rng, 100, 64, num_classes=2)
+        assert x.shape == (100, 64)
+        assert set(np.unique(y)) == {0, 1}
+        assert abs((y == 0).sum() - 50) <= 1
+
+    def test_nonnegative_and_scaled(self, rng):
+        x, _ = data.expression_classification(rng, 50, 128)
+        assert x.min() >= 0
+        assert x.max() <= 2.0
+
+    def test_classes_are_linearly_separable_ish(self, rng):
+        """Class-conditional means must differ on informative blocks."""
+        x, y = data.expression_classification(rng, 400, 256, separation=1.5)
+        mu0, mu1 = x[y == 0].mean(axis=0), x[y == 1].mean(axis=0)
+        diff = np.abs(mu0 - mu1)
+        assert diff.max() > 5 * np.median(diff)
+
+    def test_multiclass(self, rng):
+        x, y = data.expression_classification(rng, 90, 128, num_classes=3)
+        assert set(np.unique(y)) == {0, 1, 2}
+
+    def test_rejects_single_class(self, rng):
+        with pytest.raises(ValueError):
+            data.expression_classification(rng, 10, 16, num_classes=1)
+
+
+class TestExpressionProfiles:
+    def test_low_intrinsic_dimension(self, rng):
+        x = data.expression_profiles(rng, 200, 128, latent_dim=4)
+        # singular values should collapse after ~latent_dim components
+        _, s, _ = np.linalg.svd(x - x.mean(axis=0), full_matrices=False)
+        energy_head = (s[:8] ** 2).sum() / (s**2).sum()
+        assert energy_head > 0.9
+
+    def test_range(self, rng):
+        x = data.expression_profiles(rng, 50, 64)
+        assert x.min() >= 0 and x.max() <= 1.0
+
+
+class TestSnpClassification:
+    def test_sparse_small_ints(self, rng):
+        x, y = data.snp_classification(rng, 100, 200, num_classes=5)
+        assert set(np.unique(x)) <= {0.0, 1.0, 2.0}
+        assert (x == 0).mean() > 0.7  # mostly zero, SNP-like
+
+    def test_markers_elevated_per_class(self, rng):
+        x, y = data.snp_classification(rng, 300, 100, num_classes=3)
+        # within-class mean on its own markers should exceed background
+        overall = x.mean()
+        per_class_max = max(x[y == c].mean(axis=0).max() for c in range(3))
+        assert per_class_max > 4 * overall
+
+
+class TestDrugResponse:
+    def test_shapes_and_range(self, rng):
+        x, g = data.drug_response(rng, 500, 20)
+        assert x.shape == (500, 20)
+        assert g.shape == (500,)
+        assert g.min() >= -1.0 and g.max() <= 1.0
+
+    def test_response_depends_on_dose(self, rng):
+        x, g = data.drug_response(rng, 4000, 16, noise=0.0)
+        dose = x[:, 0]
+        low, high = g[dose < 0.2].mean(), g[dose > 0.8].mean()
+        assert low > high  # growth falls with dose (inhibition)
+
+    def test_minimum_features(self, rng):
+        with pytest.raises(ValueError):
+            data.drug_response(rng, 10, 3)
+
+
+class TestOneHot:
+    def test_encoding(self):
+        out = data.one_hot(np.array([0, 2, 1]), 3)
+        assert np.array_equal(out, [[1, 0, 0], [0, 0, 1], [0, 1, 0]])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            data.one_hot(np.array([3]), 3)
+
+
+def test_generators_deterministic_per_seed():
+    a = data.expression_classification(np.random.default_rng(7), 20, 32)[0]
+    b = data.expression_classification(np.random.default_rng(7), 20, 32)[0]
+    assert np.array_equal(a, b)

@@ -1,0 +1,118 @@
+"""Scalers: semantics, edge cases, properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.candle.preprocessing import (
+    MaxAbsScaler,
+    MinMaxScaler,
+    StandardScaler,
+    get_scaler,
+)
+
+
+@pytest.fixture
+def x(rng):
+    return rng.normal(size=(50, 8)) * np.arange(1, 9)
+
+
+class TestMaxAbs:
+    def test_range_and_zero_preservation(self, x):
+        x[:, 3] = 0.0
+        x[5, 2] = 0.0
+        out = MaxAbsScaler().fit_transform(x)
+        assert np.abs(out).max() <= 1.0 + 1e-12
+        assert np.all(out[:, 3] == 0)
+        assert out[5, 2] == 0.0
+
+    def test_inverse_roundtrip(self, x):
+        s = MaxAbsScaler().fit(x)
+        assert np.allclose(s.inverse_transform(s.transform(x)), x)
+
+
+class TestMinMax:
+    def test_unit_range(self, x):
+        out = MinMaxScaler().fit_transform(x)
+        assert out.min() == pytest.approx(0.0)
+        assert out.max() == pytest.approx(1.0)
+
+    def test_constant_column_maps_to_zero(self):
+        x = np.ones((10, 2))
+        x[:, 1] = np.arange(10)
+        out = MinMaxScaler().fit_transform(x)
+        assert np.all(out[:, 0] == 0)
+
+    def test_inverse_roundtrip(self, x):
+        s = MinMaxScaler().fit(x)
+        assert np.allclose(s.inverse_transform(s.transform(x)), x)
+
+
+class TestStandard:
+    def test_zero_mean_unit_std(self, x):
+        out = StandardScaler().fit_transform(x)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-12)
+        assert np.allclose(out.std(axis=0), 1.0)
+
+    def test_transform_uses_training_statistics(self, x, rng):
+        s = StandardScaler().fit(x)
+        fresh = rng.normal(size=(5, 8)) * 100
+        out = s.transform(fresh)
+        assert np.allclose(out, (fresh - s.mean_) / s.std_)
+
+
+class TestValidation:
+    def test_transform_before_fit(self, x):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            MaxAbsScaler().transform(x)
+
+    def test_feature_count_mismatch(self, x):
+        s = MinMaxScaler().fit(x)
+        with pytest.raises(ValueError, match="features"):
+            s.transform(x[:, :4])
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            StandardScaler().fit(np.ones(5))
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError, match="zero samples"):
+            MaxAbsScaler().fit(np.empty((0, 3)))
+
+    def test_get_scaler(self):
+        assert isinstance(get_scaler("maxabs"), MaxAbsScaler)
+        assert get_scaler(None) is None
+        assert get_scaler("none") is None
+        with pytest.raises(ValueError):
+            get_scaler("robust")
+
+
+@given(
+    arrays(
+        np.float64,
+        shape=st.tuples(st.integers(2, 30), st.integers(1, 6)),
+        elements=st.floats(-1e6, 1e6, allow_nan=False),
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_property_scalers_are_invertible(x):
+    for cls in (MaxAbsScaler, MinMaxScaler, StandardScaler):
+        s = cls().fit(x)
+        back = s.inverse_transform(s.transform(x))
+        assert np.allclose(back, x, atol=1e-6 * max(1.0, np.abs(x).max()))
+
+
+@given(
+    arrays(
+        np.float64,
+        shape=st.tuples(st.integers(2, 20), st.integers(1, 4)),
+        elements=st.floats(-100, 100, allow_nan=False),
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_property_minmax_output_in_unit_interval(x):
+    out = MinMaxScaler().fit_transform(x)
+    assert np.all(out >= -1e-12)
+    assert np.all(out <= 1.0 + 1e-12)

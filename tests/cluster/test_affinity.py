@@ -1,0 +1,36 @@
+"""Pinning recipes from §2.3.2."""
+
+import pytest
+
+from repro.cluster import summit_gpu_pinning, theta_session_config, theta_thread_env
+
+
+def test_summit_pinning_per_local_rank():
+    for lr in range(6):
+        assert summit_gpu_pinning(lr)["visible_device_list"] == str(lr)
+
+
+def test_summit_pinning_out_of_range():
+    with pytest.raises(ValueError, match="no GPU"):
+        summit_gpu_pinning(6)
+    with pytest.raises(ValueError):
+        summit_gpu_pinning(-1)
+
+
+def test_theta_env_is_papers_exact_settings():
+    env = theta_thread_env()
+    assert env == {
+        "KMP_BLOCKTIME": "0",
+        "KMP_SETTINGS": "1",
+        "KMP_AFFINITY": "granularity=fine,verbose,compact,1,0",
+        "OMP_NUM_THREADS": "64",
+    }
+
+
+def test_theta_session_config():
+    cfg = theta_session_config()
+    assert cfg["intra_op_parallelism_threads"] == 64
+    assert cfg["inter_op_parallelism_threads"] == 1
+    assert cfg["allow_soft_placement"] is True
+    with pytest.raises(ValueError):
+        theta_session_config(0)

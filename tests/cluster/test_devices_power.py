@@ -1,0 +1,120 @@
+"""Device power models, power profiles, meters, energy integration."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    EnergyAccount,
+    PhasePowerProfile,
+    PowerMeter,
+    trapezoid_energy,
+)
+from repro.cluster.devices import KNL7230, POWER9, V100, DevicePowerModel
+
+
+class TestDevicePowerModel:
+    def test_compute_scales_with_intensity(self):
+        pm = DevicePowerModel(idle_w=40, io_w=50, compute_base_w=90, compute_span_w=210)
+        assert pm.compute_w(0.0) == 90
+        assert pm.compute_w(1.0) == 300
+        assert pm.compute_w(0.5) == 195
+
+    def test_intensity_clamped(self):
+        pm = V100.power
+        assert pm.compute_w(2.0) == pm.compute_w(1.0)
+        assert pm.compute_w(-1.0) == pm.compute_w(0.0)
+
+    def test_comm_power_between_idle_and_peak(self):
+        pm = V100.power
+        assert pm.idle_w < pm.communicate_w() < pm.compute_w(1.0)
+
+    def test_comm_defaults_to_io(self):
+        pm = DevicePowerModel(10, 20, 30, 40)
+        assert pm.communicate_w() == 20
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            DevicePowerModel(-1, 0, 0, 0)
+
+    def test_presets_within_tdp(self):
+        assert V100.power.compute_w(1.0) <= V100.tdp_w
+        assert KNL7230.power.compute_w(1.0) <= 300  # node-level allowance
+        assert POWER9.power.compute_w(1.0) <= POWER9.tdp_w
+
+
+class TestPhasePowerProfile:
+    def test_exact_energy_and_average(self):
+        p = PhasePowerProfile()
+        p.add_phase("load", 0, 100, 50)
+        p.add_phase("train", 100, 150, 250)
+        assert p.exact_energy_j() == 100 * 50 + 50 * 250
+        assert p.exact_average_power_w() == pytest.approx(17500 / 150)
+        assert p.duration_s() == 150
+
+    def test_phase_energy_by_name(self):
+        p = PhasePowerProfile()
+        p.add_phase("a", 0, 10, 100)
+        p.add_phase("b", 10, 20, 50)
+        p.add_phase("a", 20, 30, 100)
+        assert p.phase_energy_j() == {"a": 2000.0, "b": 500.0}
+
+    def test_power_at(self):
+        p = PhasePowerProfile()
+        p.add_phase("x", 0, 10, 75)
+        assert p.power_at(5) == 75
+        assert p.power_at(10) == 75  # closing edge
+        assert p.power_at(11) == 0.0
+
+    def test_overlapping_phase_rejected(self):
+        p = PhasePowerProfile()
+        p.add_phase("a", 0, 10, 1)
+        with pytest.raises(ValueError, match="before previous"):
+            p.add_phase("b", 5, 15, 1)
+
+    def test_backwards_phase_rejected(self):
+        with pytest.raises(ValueError, match="ends before"):
+            PhasePowerProfile().add_phase("a", 10, 5, 1)
+
+    def test_empty_profile(self):
+        p = PhasePowerProfile()
+        assert p.exact_energy_j() == 0.0
+        assert p.exact_average_power_w() == 0.0
+
+
+class TestMeterAndIntegration:
+    def test_sample_count_matches_rate(self):
+        p = PhasePowerProfile()
+        p.add_phase("x", 0, 100, 60)
+        assert len(PowerMeter(1.0).sample(p)) == 101
+        assert len(PowerMeter(2.0).sample(p)) == 201
+
+    def test_sampled_energy_close_to_exact(self):
+        p = PhasePowerProfile()
+        p.add_phase("load", 0, 97.3, 52)
+        p.add_phase("train", 97.3, 150.9, 231)
+        samples = PowerMeter(2.0).sample(p)
+        assert trapezoid_energy(samples) == pytest.approx(p.exact_energy_j(), rel=0.02)
+
+    def test_trapezoid_requires_ordered_samples(self):
+        from repro.cluster.power import PowerSample
+
+        with pytest.raises(ValueError):
+            trapezoid_energy([PowerSample(1, 1), PowerSample(0, 1)])
+
+    def test_trapezoid_degenerate(self):
+        assert trapezoid_energy([]) == 0.0
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            PowerMeter(0)
+
+
+class TestEnergyAccount:
+    def test_totals(self):
+        acc = EnergyAccount(device_count=6, duration_s=100, energy_per_device_j=5000)
+        assert acc.total_energy_j == 30000
+        assert acc.average_power_w == 50.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyAccount(device_count=0, duration_s=1, energy_per_device_j=1)

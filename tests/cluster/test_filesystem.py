@@ -1,0 +1,84 @@
+"""Filesystem contention and I/O skew models."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import FilesystemSpec, IoSkewModel
+from repro.cluster.machine import SUMMIT, THETA
+
+
+@pytest.fixture
+def fs():
+    return FilesystemSpec(
+        name="t", aggregate_bw_gb_s=100.0, client_bw_gb_s=2.0,
+        parse_contention_per_client=0.01,
+    )
+
+
+class TestFilesystem:
+    def test_client_bw_capped_by_client_link(self, fs):
+        assert fs.effective_client_bw_gb_s(1) == 2.0
+
+    def test_client_bw_fair_shared_at_scale(self, fs):
+        assert fs.effective_client_bw_gb_s(100) == pytest.approx(1.0)
+        assert fs.effective_client_bw_gb_s(400) == pytest.approx(0.25)
+
+    def test_parse_contention_grows_linearly(self, fs):
+        assert fs.parse_contention_factor(1) == 1.0
+        assert fs.parse_contention_factor(101) == pytest.approx(2.0)
+
+    def test_read_time_monotone_in_clients(self, fs):
+        times = [fs.read_time_s(10**9, n) for n in (1, 10, 100, 1000)]
+        assert times == sorted(times)
+
+    def test_invalid_inputs(self, fs):
+        with pytest.raises(ValueError):
+            fs.effective_client_bw_gb_s(0)
+        with pytest.raises(ValueError):
+            fs.parse_contention_factor(0)
+        with pytest.raises(ValueError):
+            FilesystemSpec("x", -1, 1, 0)
+
+    def test_theta_contention_exceeds_summit(self):
+        """The paper: Theta parallel loading >4x Summit's (shared reads)."""
+        s = SUMMIT.filesystem.parse_contention_factor(384)
+        t = THETA.filesystem.parse_contention_factor(384)
+        assert t > 4 * s
+
+
+class TestIoSkew:
+    def test_factors_shape_and_mean(self):
+        f = IoSkewModel(cv=0.1).factors(2000, seed=1)
+        assert f.shape == (2000,)
+        assert f.mean() == pytest.approx(1.0, abs=0.02)
+        assert np.all(f > 0)
+
+    def test_deterministic_per_seed(self):
+        m = IoSkewModel(cv=0.1)
+        assert np.array_equal(m.factors(64, seed=5), m.factors(64, seed=5))
+        assert not np.array_equal(m.factors(64, seed=5), m.factors(64, seed=6))
+
+    def test_zero_cv_no_skew(self):
+        assert np.allclose(IoSkewModel(cv=0.0).factors(100), 1.0)
+
+    def test_expected_spread_grows_with_n(self):
+        m = IoSkewModel(cv=0.1)
+        assert m.expected_spread(1) == 0.0
+        assert m.expected_spread(384) > m.expected_spread(48) > 0
+
+    def test_expected_max_ge_one(self):
+        m = IoSkewModel(cv=0.08)
+        assert m.expected_max(1) == 1.0
+        assert m.expected_max(1000) > 1.0
+
+    def test_sampled_spread_tracks_analytic(self):
+        m = IoSkewModel(cv=0.1)
+        f = m.factors(384, seed=0)
+        sampled = f.max() - f.min()
+        assert sampled == pytest.approx(m.expected_spread(384), rel=0.35)
+
+    def test_invalid_cv(self):
+        with pytest.raises(ValueError):
+            IoSkewModel(cv=1.5)
+        with pytest.raises(ValueError):
+            IoSkewModel(cv=0.1).factors(0)

@@ -1,0 +1,86 @@
+"""Property-based tests: the two CSV engines are exact inverses of the
+writer and always agree with each other.
+"""
+
+import io
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.frame import concat, read_csv, write_csv
+from repro.frame.writer import format_matrix
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False, width=64
+)
+
+
+@st.composite
+def matrices(draw):
+    rows = draw(st.integers(min_value=1, max_value=24))
+    cols = draw(st.integers(min_value=1, max_value=8))
+    return draw(
+        arrays(dtype=np.float64, shape=(rows, cols), elements=finite_floats)
+    )
+
+
+def _roundtrip(matrix, **kwargs):
+    buf = io.StringIO()
+    write_csv(buf, matrix)
+    buf.seek(0)
+    return read_csv(buf, header=None, **kwargs)
+
+
+@given(matrices())
+@settings(max_examples=40, deadline=None)
+def test_fast_engine_roundtrips_within_format_precision(m):
+    df = _roundtrip(m, low_memory=False)
+    assert df.shape == m.shape
+    assert np.allclose(df.to_numpy(np.float64), m, rtol=1e-5, atol=1e-6)
+
+
+@given(matrices())
+@settings(max_examples=25, deadline=None)
+def test_engines_always_agree(m):
+    slow = _roundtrip(m, low_memory=True)
+    fast = _roundtrip(m, low_memory=False)
+    assert slow.equals(fast)
+
+
+@given(matrices(), st.integers(min_value=1, max_value=30))
+@settings(max_examples=25, deadline=None)
+def test_chunked_concat_equals_whole_read(m, chunksize):
+    whole = _roundtrip(m, low_memory=False)
+    buf = io.StringIO()
+    write_csv(buf, m)
+    buf.seek(0)
+    chunks = list(read_csv(buf, header=None, chunksize=chunksize, low_memory=False))
+    assert sum(len(c) for c in chunks) == len(whole)
+    assert concat(chunks).equals(whole)
+
+
+@given(
+    arrays(
+        dtype=np.int64,
+        shape=st.tuples(
+            st.integers(min_value=1, max_value=20), st.integers(min_value=1, max_value=6)
+        ),
+        elements=st.integers(min_value=-(10**9), max_value=10**9),
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_integer_matrices_roundtrip_exactly(m):
+    df = _roundtrip(m, low_memory=False)
+    assert all(df.dtypes[c] == "int64" for c in df.columns)
+    assert np.array_equal(df.to_numpy(np.int64), m)
+
+
+@given(matrices())
+@settings(max_examples=20, deadline=None)
+def test_format_matrix_line_structure(m):
+    text = format_matrix(m)
+    lines = text.split("\n")
+    assert len(lines) == m.shape[0]
+    assert all(line.count(",") == m.shape[1] - 1 for line in lines)

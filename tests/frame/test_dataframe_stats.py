@@ -1,0 +1,94 @@
+"""DataFrame statistics/missing-data/sampling extensions."""
+
+import numpy as np
+import pytest
+
+from repro.frame import DataFrame, read_csv
+
+
+@pytest.fixture
+def df():
+    return DataFrame(
+        {
+            "a": np.array([1.0, 2.0, np.nan, 4.0]),
+            "b": np.array([10, 20, 30, 40]),
+            "s": np.array(["x", "y", "z", "w"], dtype=object),
+        }
+    )
+
+
+class TestDescribe:
+    def test_stats_values(self, df):
+        d = df.describe()
+        assert list(d["stat"]) == ["count", "mean", "std", "min", "max"]
+        a = dict(zip(d["stat"], d["a"]))
+        assert a["count"] == 3  # NaN excluded
+        assert a["mean"] == pytest.approx(7 / 3)
+        assert a["min"] == 1.0 and a["max"] == 4.0
+        b = dict(zip(d["stat"], d["b"]))
+        assert b["mean"] == 25.0
+
+    def test_object_columns_skipped(self, df):
+        assert "s" not in df.describe().columns
+
+    def test_no_numeric_raises(self):
+        with pytest.raises(ValueError, match="numeric"):
+            DataFrame({"s": np.array(["a"], dtype=object)}).describe()
+
+
+class TestMissing:
+    def test_isna_mask(self, df):
+        mask = df.isna()
+        assert mask["a"].tolist() == [False, False, True, False]
+        assert not mask["b"].any()
+        assert not mask["s"].any()
+
+    def test_fillna(self, df):
+        filled = df.fillna(-1.0)
+        assert filled["a"][2] == -1.0
+        assert df["a"][2] != df["a"][2]  # original untouched (NaN)
+
+    def test_fillna_object_column(self):
+        df = DataFrame({"o": np.array([1, float("nan"), "x"], dtype=object)})
+        filled = df.fillna(0.0)
+        assert filled["o"][1] == 0.0
+
+    def test_dropna(self, df):
+        clean = df.dropna()
+        assert len(clean) == 3
+        assert not clean.isna()["a"].any()
+
+
+class TestSample:
+    def test_sample_without_replacement(self, df):
+        s = df.sample(3, rng=np.random.default_rng(0))
+        assert len(s) == 3
+        assert len(set(s["b"].tolist())) == 3
+
+    def test_sample_bounds(self, df):
+        with pytest.raises(ValueError):
+            df.sample(0)
+        with pytest.raises(ValueError):
+            df.sample(5)
+
+    def test_sample_deterministic(self, df):
+        a = df.sample(2, rng=np.random.default_rng(7))
+        b = df.sample(2, rng=np.random.default_rng(7))
+        assert a.equals(b)
+
+
+class TestToCsv:
+    def test_roundtrip_via_reader(self, tmp_path, rng):
+        df = DataFrame({"x": rng.random(20), "y": rng.integers(0, 9, 20)})
+        path = tmp_path / "out.csv"
+        nbytes = df.to_csv(path)
+        assert nbytes > 0
+        back = read_csv(str(path), header=None, low_memory=False)
+        assert np.allclose(back.to_numpy(float), df.to_numpy(float), rtol=1e-5)
+
+    def test_header_written(self, tmp_path):
+        df = DataFrame({"alpha": np.ones(2), "beta": np.zeros(2)})
+        path = tmp_path / "h.csv"
+        df.to_csv(path, header=True)
+        back = read_csv(str(path))
+        assert back.columns == ["alpha", "beta"]

@@ -1,0 +1,94 @@
+"""Dtype inference and per-value parsing."""
+
+import numpy as np
+import pytest
+
+from repro.frame.dtypes import (
+    cast_to,
+    dtype_of_array,
+    infer_column_dtype,
+    parse_column,
+    parse_value,
+    promote,
+)
+
+
+class TestParseValue:
+    def test_int(self):
+        assert parse_value("42") == 42
+        assert isinstance(parse_value("42"), int)
+
+    def test_float(self):
+        assert parse_value("2.5") == 2.5
+        assert parse_value("1e3") == 1000.0
+
+    def test_missing_tokens_become_nan(self):
+        for tok in ("", "NA", "nan", "NULL", "None"):
+            assert np.isnan(parse_value(tok))
+
+    def test_string_passthrough(self):
+        assert parse_value("hello") == "hello"
+
+
+class TestInferColumnDtype:
+    def test_all_ints(self):
+        assert infer_column_dtype(["1", "2", "-3"]) == "int64"
+
+    def test_mixed_int_float_promotes(self):
+        assert infer_column_dtype(["1", "2.5"]) == "float64"
+
+    def test_missing_demotes_int_to_float(self):
+        assert infer_column_dtype(["1", "NA", "3"]) == "float64"
+
+    def test_string_gives_object(self):
+        assert infer_column_dtype(["1", "x"]) == "object"
+
+    def test_empty_defaults_int(self):
+        assert infer_column_dtype([]) == "int64"
+
+
+class TestParseColumn:
+    def test_int_column(self):
+        col = parse_column(["1", "2", "3"])
+        assert col.dtype == np.int64
+        assert np.array_equal(col, [1, 2, 3])
+
+    def test_float_column_with_missing(self):
+        col = parse_column(["1.5", "NA", "3.0"])
+        assert col.dtype == np.float64
+        assert np.isnan(col[1])
+
+    def test_object_column(self):
+        col = parse_column(["1", "x", "2.5"])
+        assert col.dtype == object
+        assert col[0] == 1 and col[1] == "x" and col[2] == 2.5
+
+    def test_explicit_dtype_skips_inference(self):
+        col = parse_column(["1", "2"], dtype="float64")
+        assert col.dtype == np.float64
+
+
+class TestLattice:
+    def test_promote_ordering(self):
+        assert promote("int64", "float64") == "float64"
+        assert promote("float64", "object") == "object"
+        assert promote("int64", "int64") == "int64"
+        assert promote("object", "int64") == "object"
+
+    def test_promote_unknown_raises(self):
+        with pytest.raises(ValueError):
+            promote("int64", "datetime")
+
+    def test_dtype_of_array(self):
+        assert dtype_of_array(np.array([1, 2])) == "int64"
+        assert dtype_of_array(np.array([True])) == "int64"
+        assert dtype_of_array(np.array([1.0])) == "float64"
+        assert dtype_of_array(np.array(["a"], dtype=object)) == "object"
+
+    def test_cast_up(self):
+        out = cast_to(np.array([1, 2]), "float64")
+        assert out.dtype == np.float64
+
+    def test_cast_never_narrows(self):
+        with pytest.raises(ValueError, match="narrow"):
+            cast_to(np.array([1.5]), "int64")

@@ -1,0 +1,86 @@
+"""CSV writer and the Dask-like partitioned reader."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.frame import (
+    PartitionedCSVReader,
+    read_csv,
+    read_csv_partitioned,
+    write_csv,
+)
+from repro.frame.writer import format_matrix
+
+
+class TestWriter:
+    def test_roundtrip(self, tmp_path, rng):
+        m = rng.random((20, 5))
+        path = tmp_path / "w.csv"
+        nbytes = write_csv(path, m)
+        assert nbytes == os.path.getsize(path)
+        back = read_csv(str(path), header=None, low_memory=False)
+        assert np.allclose(back.to_numpy(np.float64), m, rtol=1e-5)
+
+    def test_integers_written_exactly(self, tmp_path):
+        m = np.array([[1, 200], [-5, 0]])
+        path = tmp_path / "ints.csv"
+        write_csv(path, m)
+        assert path.read_text() == "1,200\n-5,0\n"
+
+    def test_header_written(self, tmp_path):
+        path = tmp_path / "h.csv"
+        write_csv(path, np.ones((1, 2)), header=["a", "b"])
+        assert path.read_text().splitlines()[0] == "a,b"
+
+    def test_header_length_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="header"):
+            write_csv(tmp_path / "x.csv", np.ones((1, 3)), header=["a"])
+
+    def test_non_2d_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="2-D"):
+            write_csv(tmp_path / "x.csv", np.ones(5))
+
+    def test_format_matrix_no_trailing_newline(self):
+        assert not format_matrix(np.ones((2, 2))).endswith("\n")
+
+
+class TestPartitionedReader:
+    @pytest.mark.parametrize("engine", ["fast", "slow", "mixed"])
+    def test_engines_agree_with_read_csv(self, tmp_path, rng, engine):
+        m = rng.random((200, 8))
+        path = tmp_path / "p.csv"
+        write_csv(path, m)
+        df = read_csv_partitioned(str(path), blocksize=2048, engine=engine)
+        ref = read_csv(str(path), header=None, low_memory=False)
+        assert df.shape == ref.shape
+        assert np.allclose(df.to_numpy(np.float64), ref.to_numpy(np.float64))
+
+    def test_partitions_align_to_line_boundaries(self, tmp_path, rng):
+        m = rng.random((500, 3))
+        path = tmp_path / "p.csv"
+        write_csv(path, m)
+        # tiny blocks force many partitions; row count must be exact
+        df = read_csv_partitioned(str(path), blocksize=512, num_workers=3)
+        assert len(df) == 500
+
+    def test_single_worker_path(self, tmp_path, rng):
+        path = tmp_path / "p.csv"
+        write_csv(path, rng.random((50, 2)))
+        df = read_csv_partitioned(str(path), num_workers=1)
+        assert len(df) == 50
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "e.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_csv_partitioned(str(path))
+
+    def test_invalid_params(self, tmp_path):
+        with pytest.raises(ValueError):
+            PartitionedCSVReader("x", blocksize=0)
+        with pytest.raises(ValueError):
+            PartitionedCSVReader("x", num_workers=0)
+        with pytest.raises(ValueError):
+            PartitionedCSVReader("x", engine="gpu")

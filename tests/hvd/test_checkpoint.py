@@ -1,0 +1,106 @@
+"""Distributed checkpoint/restart: rank-0 writes, everyone resumes."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import hvd
+from repro.hvd.callbacks import CheckpointCallback, resume_from_checkpoint
+from repro.mpi import run_spmd
+from repro.nn import SGD, Activation, Dense, Sequential
+
+
+def _data():
+    rng = np.random.default_rng(5)
+    x = rng.normal(size=(40, 5))
+    y = np.eye(2)[(x[:, 1] > 0).astype(int)]
+    return x, y
+
+
+def _model(seed):
+    m = Sequential([Dense(6, activation="tanh"), Dense(2), Activation("softmax")])
+    m.build((5,), seed=seed)
+    m.compile(hvd.DistributedOptimizer(SGD(lr=0.05)), "categorical_crossentropy")
+    return m
+
+
+def test_only_root_writes_and_all_ranks_wait(tmp_path):
+    path = str(tmp_path / "ckpt.npz")
+
+    def worker(comm):
+        hvd.init(comm)
+        try:
+            x, y = _data()
+            m = _model(seed=comm.rank)
+            cb = CheckpointCallback(path, every_n_epochs=2)
+            m.fit(
+                x, y, epochs=4,
+                callbacks=[hvd.BroadcastGlobalVariablesCallback(0), cb],
+                shuffle=False,
+            )
+            return cb.epochs_written
+        finally:
+            hvd.shutdown()
+
+    written = run_spmd(3, worker)
+    assert all(w == [1, 3] for w in written)
+    assert os.path.exists(path)
+
+
+def test_resume_broadcasts_to_all_ranks(tmp_path):
+    path = str(tmp_path / "ckpt.npz")
+
+    # phase 1: train 2 epochs and checkpoint
+    def train_phase(comm):
+        hvd.init(comm)
+        try:
+            x, y = _data()
+            m = _model(seed=1)
+            m.fit(
+                x, y, epochs=2,
+                callbacks=[
+                    hvd.BroadcastGlobalVariablesCallback(0),
+                    CheckpointCallback(path, every_n_epochs=2),
+                ],
+                shuffle=False,
+            )
+            return m.get_weights()
+        finally:
+            hvd.shutdown()
+
+    saved = run_spmd(2, train_phase)[0]
+
+    # phase 2: fresh processes resume from the checkpoint
+    def resume_phase(comm):
+        hvd.init(comm)
+        try:
+            m = _model(seed=777 + comm.rank)  # arbitrary fresh init
+            meta = resume_from_checkpoint(m, path)
+            assert meta is not None
+            return meta["epoch"], m.get_weights()
+        finally:
+            hvd.shutdown()
+
+    results = run_spmd(2, resume_phase)
+    for epoch, weights in results:
+        assert epoch == 1
+        for a, b in zip(saved, weights):
+            assert np.array_equal(a, b)
+
+
+def test_resume_missing_checkpoint_returns_none(tmp_path):
+    def worker(comm):
+        hvd.init(comm)
+        try:
+            m = _model(seed=0)
+            return resume_from_checkpoint(m, str(tmp_path / "nope.npz"))
+        finally:
+            hvd.shutdown()
+
+    assert run_spmd(2, worker) == [None, None]
+
+
+def test_invalid_interval():
+    with pytest.raises(ValueError):
+        CheckpointCallback("x", every_n_epochs=0)

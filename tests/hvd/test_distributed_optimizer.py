@@ -1,0 +1,108 @@
+"""DistributedOptimizer: gradient averaging semantics."""
+
+import numpy as np
+import pytest
+
+from repro import hvd
+from repro.mpi import run_spmd
+from repro.nn import SGD, Adam
+
+
+def _with_hvd(nprocs, fn):
+    def worker(comm):
+        hvd.init(comm)
+        try:
+            return fn(comm)
+        finally:
+            hvd.shutdown()
+
+    return run_spmd(nprocs, worker)
+
+
+def test_wraps_only_optimizers():
+    with pytest.raises(TypeError):
+        hvd.DistributedOptimizer("sgd")
+
+
+def test_single_rank_passthrough():
+    hvd.init()
+    try:
+        opt = hvd.DistributedOptimizer(SGD(lr=0.1))
+        grads = {"w": np.ones(4)}
+        assert opt.reduce_gradients(grads) is grads
+        assert opt.allreduce_count == 0
+    finally:
+        hvd.shutdown()
+
+
+def test_gradients_averaged_across_ranks():
+    def fn(comm):
+        opt = hvd.DistributedOptimizer(SGD(lr=1.0))
+        params = {"w": np.zeros(8)}
+        grads = {"w": np.full(8, float(comm.rank))}  # ranks 0..3 -> mean 1.5
+        opt.apply_gradients(params, grads)
+        return params["w"].copy()
+
+    for w in _with_hvd(4, fn):
+        assert np.allclose(w, -1.5)
+
+
+def test_equivalent_to_large_batch_sgd():
+    """N workers averaging over shards == one worker on the full batch."""
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(8, 3))
+    w0 = rng.normal(size=3)
+
+    def grad(xs):  # gradient of 0.5*||x w||^2 wrt w, mean over rows
+        return (xs @ w0)[:, None].T @ xs / len(xs)
+
+    # serial full-batch step
+    serial = w0 - 0.1 * grad(x).ravel()
+
+    def fn(comm):
+        shard = x[comm.rank * 2 : (comm.rank + 1) * 2]
+        opt = hvd.DistributedOptimizer(SGD(lr=0.1))
+        params = {"w": w0.copy()}
+        opt.apply_gradients(params, {"w": grad(shard).ravel()})
+        return params["w"]
+
+    for w in _with_hvd(4, fn):
+        assert np.allclose(w, serial, atol=1e-12)
+
+
+def test_multiple_fusion_groups_still_correct():
+    def fn(comm):
+        opt = hvd.DistributedOptimizer(SGD(lr=1.0), fusion_bytes=64)
+        params = {f"p{i}": np.zeros(16) for i in range(5)}  # 128 B each
+        grads = {f"p{i}": np.full(16, float(comm.rank)) for i in range(5)}
+        opt.apply_gradients(params, grads)
+        return opt.allreduce_count, [params[f"p{i}"][0] for i in range(5)]
+
+    for count, firsts in _with_hvd(2, fn):
+        assert count == 5  # one ring op per tensor at this tiny capacity
+        assert all(v == pytest.approx(-0.5) for v in firsts)
+
+
+def test_lr_proxying_reaches_base():
+    base = Adam(lr=0.001)
+    hvd.init()
+    try:
+        opt = hvd.DistributedOptimizer(base)
+        opt.lr = 0.005
+        assert base.lr == 0.005
+        opt.scale_lr(2)
+        assert base.lr == pytest.approx(0.01)
+        assert opt.iterations == base.iterations
+    finally:
+        hvd.shutdown()
+
+
+def test_base_optimizer_state_updates():
+    def fn(comm):
+        base = Adam(lr=0.01)
+        opt = hvd.DistributedOptimizer(base)
+        params = {"w": np.zeros(4)}
+        opt.apply_gradients(params, {"w": np.ones(4)})
+        return base.iterations
+
+    assert _with_hvd(2, fn) == [1, 1]

@@ -1,0 +1,128 @@
+"""Horovod runtime: thread-local identity, instrumented collectives."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import hvd
+from repro.mpi import run_spmd
+
+
+def _with_hvd(nprocs, fn, timeline=None, local_size=1):
+    def worker(comm):
+        hvd.init(comm, timeline=timeline)
+        try:
+            return fn(comm)
+        finally:
+            hvd.shutdown()
+
+    return run_spmd(nprocs, worker, local_size=local_size)
+
+
+class TestIdentity:
+    def test_size_rank_local_rank(self):
+        out = _with_hvd(6, lambda c: (hvd.size(), hvd.rank(), hvd.local_rank()), local_size=3)
+        assert out == [(6, r, r % 3) for r in range(6)]
+
+    def test_single_rank_default_world(self):
+        hvd.init()
+        try:
+            assert hvd.size() == 1
+            assert hvd.rank() == 0
+        finally:
+            hvd.shutdown()
+
+    def test_uninitialized_access_raises(self):
+        assert not hvd.is_initialized()
+        with pytest.raises(RuntimeError, match="not initialized"):
+            hvd.size()
+
+    def test_double_init_rejected(self):
+        hvd.init()
+        try:
+            with pytest.raises(RuntimeError, match="twice"):
+                hvd.init()
+        finally:
+            hvd.shutdown()
+
+
+class TestOps:
+    def test_allreduce_mean_default(self):
+        out = _with_hvd(4, lambda c: hvd.allreduce(np.full(16, float(c.rank))))
+        for arr in out:
+            assert np.allclose(arr, 1.5)
+
+    def test_broadcast_object(self):
+        out = _with_hvd(3, lambda c: hvd.broadcast("w" if c.rank == 0 else None))
+        assert out == ["w", "w", "w"]
+
+    def test_allgather(self):
+        out = _with_hvd(3, lambda c: hvd.allgather(c.rank))
+        assert out == [[0, 1, 2]] * 3
+
+    def test_ops_record_timeline_events(self):
+        tl = hvd.Timeline(origin_s=time.perf_counter())
+        _with_hvd(2, lambda c: hvd.allreduce(np.ones(8), name="grads"), timeline=tl)
+        names = {e.name for e in tl.events}
+        assert {"negotiate_allreduce", "allreduce", "nccl_allreduce"} <= names
+        tagged = [e for e in tl.events if e.args.get("tensor") == "grads"]
+        assert tagged
+
+    def test_skewed_entry_shows_in_negotiate(self):
+        tl = hvd.Timeline(origin_s=time.perf_counter())
+
+        def fn(comm):
+            if comm.rank == 0:
+                time.sleep(0.25)
+            hvd.broadcast(1 if comm.rank == 0 else None)
+
+        _with_hvd(3, fn, timeline=tl)
+        waits = {
+            e.rank: e.duration_s for e in tl.events_named("negotiate_broadcast")
+        }
+        assert waits[0] < 0.1  # the slow rank doesn't wait
+        assert waits[1] > 0.2 and waits[2] > 0.2  # fast ranks wait for it
+
+
+class TestBroadcastWeights:
+    def test_models_converge_to_root_weights(self):
+        from repro.nn import Dense, Sequential
+
+        def fn(comm):
+            m = Sequential([Dense(4), Dense(2)])
+            m.build((3,), seed=100 + comm.rank)
+            hvd.broadcast_weights(m, root=0)
+            return m.get_weights()
+
+        results = _with_hvd(4, fn)
+        for weights in results[1:]:
+            for a, b in zip(results[0], weights):
+                assert np.array_equal(a, b)
+
+    def test_dict_target(self):
+        def fn(comm):
+            params = {"w": np.full(4, float(comm.rank))}
+            hvd.broadcast_weights(params, root=2)
+            return params["w"]
+
+        for arr in _with_hvd(3, fn):
+            assert np.allclose(arr, 2.0)
+
+    def test_bad_target_type(self):
+        hvd.init()
+        try:
+            with pytest.raises(TypeError):
+                hvd.broadcast_weights([1, 2, 3])
+        finally:
+            hvd.shutdown()
+
+
+def test_negotiate_precedes_data_movement_per_rank():
+    """Timeline ordering: the rendezvous always ends where movement starts."""
+    tl = hvd.Timeline(origin_s=time.perf_counter())
+    _with_hvd(3, lambda c: hvd.broadcast("w" if c.rank == 0 else None), timeline=tl)
+    for rank in range(3):
+        neg = next(e for e in tl.events_named("negotiate_broadcast") if e.rank == rank)
+        mov = next(e for e in tl.events_named("mpi_broadcast") if e.rank == rank)
+        assert neg.end_s <= mov.start_s + 1e-6

@@ -1,0 +1,77 @@
+"""Timeline: recording, categories, Chrome trace export."""
+
+import json
+
+import pytest
+
+from repro.hvd import Timeline
+from repro.hvd.timeline import ALLREDUCE_EVENTS, BROADCAST_EVENTS
+
+
+def test_event_categories_auto_assigned():
+    tl = Timeline()
+    for name in BROADCAST_EVENTS:
+        assert tl.record(name, 0, 0.0, 1.0).category == "broadcast"
+    for name in ALLREDUCE_EVENTS:
+        assert tl.record(name, 0, 0.0, 1.0).category == "allreduce"
+    assert tl.record("data_loading", 0, 0.0, 1.0).category == "misc"
+
+
+def test_origin_shift():
+    tl = Timeline(origin_s=100.0)
+    ev = tl.record("broadcast", 0, 103.0, 2.0)
+    assert ev.start_s == pytest.approx(3.0)
+    assert ev.end_s == pytest.approx(5.0)
+
+
+def test_negative_duration_rejected():
+    with pytest.raises(ValueError):
+        Timeline().record("x", 0, 0.0, -1.0)
+
+
+def test_events_named_filter():
+    tl = Timeline()
+    tl.record("broadcast", 0, 0, 1)
+    tl.record("allreduce", 0, 1, 1)
+    tl.record("broadcast", 1, 0, 2)
+    assert len(tl.events_named("broadcast")) == 2
+    assert len(tl.events_named("broadcast", "allreduce")) == 3
+
+
+def test_span():
+    tl = Timeline()
+    assert tl.span() == (0.0, 0.0)
+    tl.record("a", 0, 2.0, 1.0)
+    tl.record("b", 1, 0.5, 4.0)
+    assert tl.span() == (0.5, 4.5)
+
+
+def test_chrome_trace_format(tmp_path):
+    tl = Timeline()
+    tl.record("nccl_allreduce", 3, 1.0, 0.25, tensor="grads", bytes=1024)
+    path = tmp_path / "trace.json"
+    tl.dump(path)
+    data = json.loads(path.read_text())
+    (ev,) = data["traceEvents"]
+    assert ev["ph"] == "X"
+    assert ev["tid"] == 3
+    assert ev["ts"] == pytest.approx(1e6)
+    assert ev["dur"] == pytest.approx(0.25e6)
+    assert ev["args"]["tensor"] == "grads"
+
+
+def test_len_and_thread_safety_smoke():
+    import threading
+
+    tl = Timeline()
+
+    def spam(rank):
+        for i in range(200):
+            tl.record("allreduce", rank, i, 0.5)
+
+    threads = [threading.Thread(target=spam, args=(r,)) for r in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(tl) == 800

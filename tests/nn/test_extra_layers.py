@@ -1,0 +1,150 @@
+"""BatchNormalization, AveragePooling1D, GlobalMaxPooling1D."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AveragePooling1D,
+    BatchNormalization,
+    Dense,
+    Flatten,
+    Sequential,
+)
+from repro.nn.gradcheck import max_relative_error, numeric_param_grads
+from repro.nn.layers import GlobalMaxPooling1D
+
+
+def _build(layer, shape, seed=0):
+    layer.build(shape, np.random.default_rng(seed))
+    return layer
+
+
+class TestBatchNorm:
+    def test_training_normalizes_batch(self, rng):
+        bn = _build(BatchNormalization(), (6,))
+        x = rng.normal(loc=5.0, scale=3.0, size=(64, 6))
+        y = bn.forward(x, training=True)
+        assert np.allclose(y.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(y.std(axis=0), 1.0, atol=1e-2)
+
+    def test_inference_uses_running_moments(self, rng):
+        bn = _build(BatchNormalization(momentum=0.0), (4,))
+        x = rng.normal(loc=2.0, size=(128, 4))
+        bn.forward(x, training=True)  # momentum 0 -> running = batch stats
+        y = bn.forward(x, training=False)
+        assert np.allclose(y.mean(axis=0), 0.0, atol=1e-2)
+
+    def test_sequence_input_normalizes_per_channel(self, rng):
+        bn = _build(BatchNormalization(), (10, 3))
+        x = rng.normal(size=(8, 10, 3)) * np.array([1.0, 5.0, 10.0])
+        y = bn.forward(x, training=True)
+        assert np.allclose(y.reshape(-1, 3).std(axis=0), 1.0, atol=1e-2)
+
+    def test_gradients_match_numeric(self, rng):
+        model = Sequential([BatchNormalization(), Dense(1)])
+        model.build((5,), seed=3)
+        model.compile("sgd", "mse", lr=0.01)
+        x = rng.normal(size=(6, 5))
+        y = rng.normal(size=(6, 1))
+        y_pred = model._forward(x, training=True)
+        model._backward(y, y_pred)
+        analytic = {k: v.copy() for k, v in model.named_gradients().items()}
+
+        # numeric gradcheck must evaluate the same (training-mode) path
+        def loss_at():
+            pred = model._forward(x, training=True)
+            return model.loss.value(y, pred)
+
+        eps = 1e-6
+        for name, param in model.named_parameters().items():
+            g = np.zeros_like(param)
+            flat, gflat = param.reshape(-1), g.reshape(-1)
+            for i in range(flat.size):
+                orig = flat[i]
+                flat[i] = orig + eps
+                plus = loss_at()
+                flat[i] = orig - eps
+                minus = loss_at()
+                flat[i] = orig
+                gflat[i] = (plus - minus) / (2 * eps)
+            err = max_relative_error(analytic[name], g)
+            assert err < 1e-4, f"{name}: {err}"
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            BatchNormalization(momentum=1.0)
+        with pytest.raises(ValueError):
+            BatchNormalization(epsilon=0.0)
+
+    def test_trains_in_model(self, tiny_classification):
+        x, y = tiny_classification
+        from repro.nn import Activation
+
+        m = Sequential(
+            [Dense(8), BatchNormalization(), Activation("tanh"), Dense(2), Activation("softmax")]
+        )
+        m.build((x.shape[1],), seed=0)
+        m.compile("adam", "categorical_crossentropy", metrics=["accuracy"], lr=0.02)
+        h = m.fit(x, y, batch_size=32, epochs=15)
+        assert h.history["accuracy"][-1] > 0.85
+
+
+class TestAveragePooling:
+    def test_values(self):
+        p = _build(AveragePooling1D(2), (4, 1))
+        x = np.array([[[1.0], [3.0], [5.0], [7.0]]])
+        assert np.allclose(p.forward(x)[0, :, 0], [2.0, 6.0])
+
+    def test_backward_spreads_evenly(self):
+        p = _build(AveragePooling1D(2), (4, 1))
+        x = np.ones((1, 4, 1))
+        p.forward(x)
+        g = p.backward(np.array([[[2.0], [4.0]]]))
+        assert np.allclose(g[0, :, 0], [1.0, 1.0, 2.0, 2.0])
+
+    def test_gradcheck_in_model(self, rng):
+        from repro.nn import Conv1D
+
+        model = Sequential(
+            [Conv1D(2, 3, activation="tanh"), AveragePooling1D(2), Flatten(), Dense(1)]
+        )
+        model.build((9, 1), seed=1)
+        model.compile("sgd", "mse", lr=0.01)
+        x = rng.normal(size=(4, 9, 1))
+        y = rng.normal(size=(4, 1))
+        y_pred = model._forward(x, training=False)
+        model._backward(y, y_pred)
+        analytic = {k: v.copy() for k, v in model.named_gradients().items()}
+        numeric = numeric_param_grads(model, x, y)
+        for name in numeric:
+            assert max_relative_error(analytic[name], numeric[name]) < 1e-5
+
+
+class TestGlobalMaxPooling:
+    def test_shape_and_values(self, rng):
+        p = _build(GlobalMaxPooling1D(), (7, 3))
+        x = rng.normal(size=(5, 7, 3))
+        y = p.forward(x)
+        assert y.shape == (5, 3)
+        assert np.allclose(y, x.max(axis=1))
+
+    def test_backward_routes_to_argmax(self):
+        p = _build(GlobalMaxPooling1D(), (3, 2))
+        x = np.array([[[1.0, 9.0], [5.0, 2.0], [3.0, 4.0]]])
+        p.forward(x)
+        g = p.backward(np.array([[1.0, 2.0]]))
+        assert g[0, 1, 0] == 1.0 and g[0, 0, 1] == 2.0
+        assert g.sum() == 3.0
+
+    def test_gradcheck_in_model(self, rng):
+        model = Sequential([GlobalMaxPooling1D(), Dense(1)])
+        model.build((6, 2), seed=1)
+        model.compile("sgd", "mse", lr=0.01)
+        x = rng.normal(size=(4, 6, 2))
+        y = rng.normal(size=(4, 1))
+        y_pred = model._forward(x, training=False)
+        model._backward(y, y_pred)
+        analytic = {k: v.copy() for k, v in model.named_gradients().items()}
+        numeric = numeric_param_grads(model, x, y)
+        for name in numeric:
+            assert max_relative_error(analytic[name], numeric[name]) < 1e-5

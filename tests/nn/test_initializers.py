@@ -1,0 +1,58 @@
+"""Weight initializers: shapes, scales, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.nn import initializers
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["glorot_uniform", "glorot_normal", "he_normal", "he_uniform", "lecun_uniform"],
+)
+def test_shapes_and_determinism(name):
+    init = initializers.get(name)
+    a = init((32, 16), np.random.default_rng(3))
+    b = init((32, 16), np.random.default_rng(3))
+    assert a.shape == (32, 16)
+    assert np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    init = initializers.get("glorot_uniform")
+    a = init((8, 8), np.random.default_rng(1))
+    b = init((8, 8), np.random.default_rng(2))
+    assert not np.array_equal(a, b)
+
+
+def test_glorot_uniform_bounds():
+    w = initializers.glorot_uniform((100, 100), np.random.default_rng(0))
+    limit = np.sqrt(6.0 / 200)
+    assert np.all(np.abs(w) <= limit)
+
+
+def test_he_normal_variance_scales_with_fan_in():
+    rng = np.random.default_rng(0)
+    w_small = initializers.he_normal((10, 4000), rng)
+    w_big = initializers.he_normal((1000, 400), rng)
+    # var ~ 2/fan_in: fan 10 vs fan 1000 -> std ratio ~ 10
+    assert w_small.std() / w_big.std() == pytest.approx(10.0, rel=0.15)
+
+
+def test_conv_kernel_fans_include_receptive_field():
+    # kernel (width=5, in=3, out=7): fan_in = 15
+    w = initializers.he_uniform((5, 3, 7), np.random.default_rng(0))
+    limit = np.sqrt(6.0 / 15)
+    assert np.all(np.abs(w) <= limit)
+    assert np.abs(w).max() > limit * 0.8  # actually uses the range
+
+
+def test_zeros_and_ones():
+    rng = np.random.default_rng(0)
+    assert np.all(initializers.zeros((3, 3), rng) == 0)
+    assert np.all(initializers.ones((3, 3), rng) == 1)
+
+
+def test_unknown_initializer_raises():
+    with pytest.raises(ValueError, match="unknown initializer"):
+        initializers.get("xavier_magic")

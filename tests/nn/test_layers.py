@@ -1,0 +1,170 @@
+"""Layers: shapes, forward semantics, build validation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Activation,
+    Conv1D,
+    Dense,
+    Dropout,
+    Flatten,
+    LocallyConnected1D,
+    MaxPooling1D,
+    regularizers,
+)
+
+
+def _build(layer, shape, seed=0):
+    layer.build(shape, np.random.default_rng(seed))
+    return layer
+
+
+class TestDense:
+    def test_output_shape_and_params(self):
+        d = _build(Dense(7), (5,))
+        assert d.output_shape == (7,)
+        assert d.param_count() == 5 * 7 + 7
+
+    def test_linear_forward_matches_matmul(self, rng):
+        d = _build(Dense(4), (6,))
+        x = rng.normal(size=(3, 6))
+        assert np.allclose(d.forward(x), x @ d.params["kernel"] + d.params["bias"])
+
+    def test_no_bias(self):
+        d = _build(Dense(4, use_bias=False), (6,))
+        assert "bias" not in d.params
+        assert d.param_count() == 24
+
+    def test_rejects_multidim_input(self):
+        with pytest.raises(ValueError, match="flat input"):
+            _build(Dense(4), (6, 2))
+
+    def test_rejects_nonpositive_units(self):
+        with pytest.raises(ValueError):
+            Dense(0)
+
+    def test_regularization_penalty_positive(self):
+        d = _build(Dense(4, kernel_regularizer=regularizers.l2(0.1)), (6,))
+        assert d.regularization_penalty() > 0
+
+    def test_use_before_build_raises(self, rng):
+        with pytest.raises(RuntimeError, match="before build"):
+            Dense(4).forward(rng.normal(size=(2, 6)))
+
+
+class TestDropout:
+    def test_inference_is_identity(self, rng):
+        d = _build(Dropout(0.5), (10,))
+        x = rng.normal(size=(4, 10))
+        assert np.array_equal(d.forward(x, training=False), x)
+
+    def test_training_zeroes_and_rescales(self, rng):
+        d = _build(Dropout(0.5), (1000,))
+        x = np.ones((2, 1000))
+        y = d.forward(x, training=True)
+        zero_frac = np.mean(y == 0)
+        assert 0.35 < zero_frac < 0.65
+        kept = y[y != 0]
+        assert np.allclose(kept, 2.0)  # inverted dropout rescale
+
+    def test_mean_preserved_in_expectation(self, rng):
+        d = _build(Dropout(0.3), (5000,))
+        x = np.ones((1, 5000))
+        y = d.forward(x, training=True)
+        assert y.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_backward_uses_same_mask(self):
+        d = _build(Dropout(0.5), (100,))
+        x = np.ones((1, 100))
+        y = d.forward(x, training=True)
+        g = d.backward(np.ones_like(y))
+        assert np.array_equal(g == 0, y == 0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestFlatten:
+    def test_flatten_and_restore(self, rng):
+        f = _build(Flatten(), (4, 3))
+        x = rng.normal(size=(5, 4, 3))
+        y = f.forward(x)
+        assert y.shape == (5, 12)
+        assert f.backward(y).shape == x.shape
+
+
+class TestConv1D:
+    def test_valid_output_length(self):
+        c = _build(Conv1D(8, 5), (30, 2))
+        assert c.output_shape == (26, 8)
+        assert c.param_count() == 5 * 2 * 8 + 8
+
+    def test_same_padding_preserves_length(self, rng):
+        c = _build(Conv1D(3, 7, padding="same"), (30, 1))
+        assert c.output_shape == (30, 3)
+        x = rng.normal(size=(2, 30, 1))
+        assert c.forward(x).shape == (2, 30, 3)
+
+    def test_known_convolution_value(self):
+        c = _build(Conv1D(1, 2, use_bias=False), (4, 1))
+        c.params["kernel"][:] = np.array([[[1.0]], [[2.0]]])  # taps 1, 2
+        x = np.array([[[1.0], [2.0], [3.0], [4.0]]])
+        # cross-correlation: y[t] = x[t] + 2 x[t+1]
+        assert np.allclose(c.forward(x)[0, :, 0], [5.0, 8.0, 11.0])
+
+    def test_kernel_longer_than_input_raises(self):
+        with pytest.raises(ValueError, match="shorter than kernel"):
+            _build(Conv1D(4, 50), (30, 1))
+
+    def test_bad_padding_rejected(self):
+        with pytest.raises(ValueError):
+            Conv1D(4, 3, padding="full")
+
+
+class TestMaxPooling1D:
+    def test_pooled_values(self):
+        p = _build(MaxPooling1D(2), (6, 1))
+        x = np.array([[[1.0], [5.0], [2.0], [2.0], [9.0], [0.0]]])
+        assert np.allclose(p.forward(x)[0, :, 0], [5.0, 2.0, 9.0])
+
+    def test_trailing_remainder_dropped(self):
+        p = _build(MaxPooling1D(2), (7, 3))
+        assert p.output_shape == (3, 3)
+
+    def test_backward_routes_to_argmax(self):
+        p = _build(MaxPooling1D(2), (4, 1))
+        x = np.array([[[1.0], [5.0], [7.0], [2.0]]])
+        p.forward(x)
+        g = p.backward(np.array([[[1.0], [1.0]]]))
+        assert np.allclose(g[0, :, 0], [0.0, 1.0, 1.0, 0.0])
+
+    def test_pool_bigger_than_input_raises(self):
+        with pytest.raises(ValueError, match="shorter than pool"):
+            _build(MaxPooling1D(10), (6, 1))
+
+
+class TestLocallyConnected1D:
+    def test_unshared_weights_shape(self):
+        lc = _build(LocallyConnected1D(4, 3), (10, 2))
+        assert lc.output_shape == (8, 4)
+        assert lc.params["kernel"].shape == (8, 6, 4)
+
+    def test_differs_from_shared_conv(self, rng):
+        """Same input, position-varying kernels -> position-varying response."""
+        lc = _build(LocallyConnected1D(1, 2, use_bias=False), (4, 1), seed=2)
+        x = np.ones((1, 4, 1))
+        y = lc.forward(x)[0, :, 0]
+        assert not np.allclose(y, y[0])  # a shared conv would be constant
+
+
+class TestActivationLayer:
+    def test_softmax_flag(self):
+        assert Activation("softmax").is_softmax
+        assert not Activation("relu").is_softmax
+
+    def test_forward(self, rng):
+        a = _build(Activation("relu"), (5,))
+        x = rng.normal(size=(3, 5))
+        assert np.allclose(a.forward(x), np.maximum(x, 0))

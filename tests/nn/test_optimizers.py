@@ -1,0 +1,122 @@
+"""Optimizers: update rules, state, LR scaling, validation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import optimizers
+
+
+def _quadratic_descent(opt, steps=600, dim=6):
+    """Minimize ||w||^2 from a fixed start; returns final norm."""
+    w = np.random.default_rng(0).normal(size=dim) * 3
+    params = {"w": w}
+    for _ in range(steps):
+        opt.apply_gradients(params, {"w": 2 * params["w"]})
+    return float(np.linalg.norm(params["w"]))
+
+
+@pytest.mark.parametrize(
+    "opt",
+    [
+        optimizers.SGD(lr=0.05),
+        optimizers.SGD(lr=0.05, momentum=0.9),
+        optimizers.SGD(lr=0.05, momentum=0.9, nesterov=True),
+        # RMSprop bounces at ~lr amplitude near an optimum; LR decay
+        # shrinks the cycle so it actually converges
+        optimizers.RMSprop(lr=0.05, decay=0.01),
+        optimizers.Adam(lr=0.1),
+    ],
+    ids=["sgd", "sgd-mom", "sgd-nesterov", "rmsprop", "adam"],
+)
+def test_converges_on_quadratic(opt):
+    assert _quadratic_descent(opt) < 1e-2
+
+
+def test_sgd_plain_update_rule():
+    opt = optimizers.SGD(lr=0.1)
+    params = {"w": np.array([1.0, 2.0])}
+    opt.apply_gradients(params, {"w": np.array([10.0, 10.0])})
+    assert np.allclose(params["w"], [0.0, 1.0])
+
+
+def test_sgd_momentum_accumulates_velocity():
+    opt = optimizers.SGD(lr=0.1, momentum=0.5)
+    params = {"w": np.zeros(1)}
+    g = {"w": np.ones(1)}
+    opt.apply_gradients(params, g)  # v = -0.1 -> w = -0.1
+    opt.apply_gradients(params, g)  # v = -0.15 -> w = -0.25
+    assert params["w"][0] == pytest.approx(-0.25)
+
+
+def test_adam_first_step_is_lr_sized():
+    opt = optimizers.Adam(lr=0.01)
+    params = {"w": np.zeros(3)}
+    opt.apply_gradients(params, {"w": np.full(3, 7.0)})
+    # bias-corrected Adam's first step is ~lr regardless of grad scale
+    assert np.allclose(params["w"], -0.01, atol=1e-5)
+
+
+def test_rmsprop_normalizes_per_coordinate():
+    opt = optimizers.RMSprop(lr=0.01)
+    params = {"w": np.zeros(2)}
+    opt.apply_gradients(params, {"w": np.array([100.0, 0.001])})
+    # both coordinates should move by a similar magnitude after scaling
+    steps = np.abs(params["w"])
+    assert steps[0] / steps[1] < 50
+
+
+def test_decay_reduces_effective_lr():
+    opt = optimizers.SGD(lr=1.0, decay=1.0)
+    params = {"w": np.zeros(1)}
+    opt.apply_gradients(params, {"w": np.ones(1)})  # lr/(1+1) = 0.5
+    assert params["w"][0] == pytest.approx(-0.5)
+    opt.apply_gradients(params, {"w": np.ones(1)})  # lr/(1+2) = 1/3
+    assert params["w"][0] == pytest.approx(-0.5 - 1 / 3)
+
+
+def test_scale_lr_linear_scaling():
+    opt = optimizers.SGD(lr=0.001)
+    opt.scale_lr(384)
+    assert opt.lr == pytest.approx(0.384)
+    with pytest.raises(ValueError):
+        opt.scale_lr(0)
+
+
+def test_missing_gradients_skip_params():
+    opt = optimizers.SGD(lr=0.1)
+    params = {"a": np.ones(2), "b": np.ones(2)}
+    opt.apply_gradients(params, {"a": np.ones(2)})
+    assert np.allclose(params["b"], 1.0)
+    assert not np.allclose(params["a"], 1.0)
+
+
+def test_shape_mismatch_raises():
+    opt = optimizers.SGD(lr=0.1)
+    with pytest.raises(ValueError, match="shape"):
+        opt.apply_gradients({"w": np.ones(3)}, {"w": np.ones(4)})
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: optimizers.SGD(lr=-1),
+        lambda: optimizers.SGD(lr=0.1, momentum=1.5),
+        lambda: optimizers.Adam(lr=0.1, beta_1=1.0),
+        lambda: optimizers.RMSprop(lr=0.1, rho=-0.1),
+        lambda: optimizers.SGD(lr=0.1, decay=-1),
+    ],
+)
+def test_invalid_hyperparameters_raise(factory):
+    with pytest.raises(ValueError):
+        factory()
+
+
+def test_get_table1_optimizers():
+    """The paper's Table 1 optimizers resolve with the right defaults."""
+    assert isinstance(optimizers.get("sgd"), optimizers.SGD)
+    assert isinstance(optimizers.get("rmsprop"), optimizers.RMSprop)
+    adam = optimizers.get("adam", lr=None)  # P1B1: "none" -> Adam default
+    assert adam.lr == pytest.approx(0.001)
+    assert optimizers.get("sgd", lr=0.005).lr == 0.005
+    with pytest.raises(ValueError):
+        optimizers.get("lamb")

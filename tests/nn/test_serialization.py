@@ -1,0 +1,111 @@
+"""Checkpoint/restart (the paper's future-work feature): exact resume."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Activation, Dense, Sequential
+from repro.nn.serialization import CheckpointError, load_checkpoint, save_checkpoint
+
+
+def _model(seed=0, optimizer="adam"):
+    m = Sequential([Dense(8, activation="tanh"), Dense(2), Activation("softmax")])
+    m.build((6,), seed=seed)
+    m.compile(optimizer, "categorical_crossentropy", lr=0.01)
+    return m
+
+
+@pytest.fixture
+def data(rng):
+    x = rng.normal(size=(40, 6))
+    y = np.eye(2)[(x[:, 0] > 0).astype(int)]
+    return x, y
+
+
+def test_roundtrip_restores_weights_and_meta(tmp_path, data):
+    x, y = data
+    m = _model(seed=1)
+    m.fit(x, y, epochs=3, shuffle=False)
+    path = tmp_path / "ckpt.npz"
+    save_checkpoint(m, path, epoch=2)
+
+    m2 = _model(seed=99)  # different init
+    meta = load_checkpoint(m2, path)
+    assert meta["epoch"] == 2
+    assert meta["optimizer"] == "Adam"
+    for a, b in zip(m.get_weights(), m2.get_weights()):
+        assert np.array_equal(a, b)
+
+
+def test_resume_is_bitwise_identical_to_uninterrupted_run(tmp_path, data):
+    """fit(4) == fit(2) + checkpoint + restore-into-fresh-model + fit(2)."""
+    x, y = data
+    reference = _model(seed=3)
+    h_ref = reference.fit(x, y, epochs=4, shuffle=False)
+
+    first = _model(seed=3)
+    first.fit(x, y, epochs=2, shuffle=False)
+    path = tmp_path / "ckpt.npz"
+    save_checkpoint(first, path, epoch=1)
+
+    resumed = _model(seed=123)  # totally different init
+    load_checkpoint(resumed, path)
+    h_resumed = resumed.fit(x, y, epochs=2, shuffle=False)
+
+    assert h_resumed.history["loss"][-1] == pytest.approx(
+        h_ref.history["loss"][-1], abs=1e-12
+    )
+    for a, b in zip(reference.get_weights(), resumed.get_weights()):
+        assert np.allclose(a, b, atol=1e-12)
+
+
+def test_optimizer_state_slots_restored(tmp_path, data):
+    x, y = data
+    m = _model(seed=1, optimizer="adam")
+    m.fit(x, y, epochs=2, shuffle=False)
+    base = m.optimizer
+    path = tmp_path / "ckpt.npz"
+    save_checkpoint(m, path)
+
+    m2 = _model(seed=2, optimizer="adam")
+    load_checkpoint(m2, path)
+    assert m2.optimizer.iterations == base.iterations
+    for pname, slots in base._state.items():
+        for slot, arr in slots.items():
+            assert np.array_equal(m2.optimizer._state[pname][slot], arr)
+
+
+def test_architecture_mismatch_rejected(tmp_path, data):
+    x, y = data
+    m = _model(seed=1)
+    save_checkpoint(m, tmp_path / "c.npz")
+    other = Sequential([Dense(4), Dense(2)])
+    other.build((6,), seed=0)
+    other.compile("adam", "mse")
+    with pytest.raises(CheckpointError, match="mismatch"):
+        load_checkpoint(other, tmp_path / "c.npz")
+
+
+def test_shape_mismatch_rejected(tmp_path):
+    m = _model(seed=1)
+    save_checkpoint(m, tmp_path / "c.npz")
+    wider = Sequential(
+        [Dense(16, activation="tanh"), Dense(2), Activation("softmax")]
+    )
+    wider.build((6,), seed=0)
+    wider.compile("adam", "mse")
+    with pytest.raises(CheckpointError):
+        load_checkpoint(wider, tmp_path / "c.npz")
+
+
+def test_garbage_file_rejected(tmp_path):
+    path = tmp_path / "junk.npz"
+    path.write_bytes(b"not a checkpoint")
+    with pytest.raises(CheckpointError):
+        load_checkpoint(_model(), path)
+
+
+def test_uncompiled_model_rejected(tmp_path):
+    m = Sequential([Dense(2)])
+    m.build((4,))
+    with pytest.raises(RuntimeError, match="not compiled"):
+        save_checkpoint(m, tmp_path / "c.npz")

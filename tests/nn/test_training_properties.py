@@ -1,0 +1,69 @@
+"""Property-based training invariants for the nn stack."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import SGD, Activation, Dense, Sequential
+
+
+def _separable(seed, n=60, f=6):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, f))
+    y = np.eye(2)[(x[:, 0] + x[:, 1] > 0).astype(int)]
+    return x, y
+
+
+@given(seed=st.integers(0, 50), units=st.integers(2, 16))
+@settings(max_examples=15, deadline=None)
+def test_gradient_step_reduces_full_batch_loss(seed, units):
+    """One small full-batch GD step must not increase the loss."""
+    x, y = _separable(seed)
+    m = Sequential([Dense(units, activation="tanh"), Dense(2), Activation("softmax")])
+    m.build((x.shape[1],), seed=seed)
+    m.compile(SGD(lr=1e-3), "categorical_crossentropy")
+    before = m.evaluate(x, y)["loss"]
+    m.train_on_batch(x, y)
+    after = m.evaluate(x, y)["loss"]
+    assert after <= before + 1e-9
+
+
+@given(seed=st.integers(0, 30))
+@settings(max_examples=10, deadline=None)
+def test_softmax_outputs_are_distributions(seed):
+    x, y = _separable(seed)
+    m = Sequential([Dense(4, activation="relu"), Dense(2), Activation("softmax")])
+    m.build((x.shape[1],), seed=seed)
+    m.compile("sgd", "categorical_crossentropy", lr=0.1)
+    m.fit(x, y, epochs=2)
+    p = m.predict(x)
+    assert np.all(p >= 0)
+    assert np.allclose(p.sum(axis=1), 1.0)
+
+
+@given(seed=st.integers(0, 30), scale=st.floats(0.1, 10.0))
+@settings(max_examples=10, deadline=None)
+def test_weight_roundtrip_preserves_predictions(seed, scale):
+    x, _ = _separable(seed)
+    a = Sequential([Dense(5, activation="tanh"), Dense(2)])
+    a.build((x.shape[1],), seed=seed)
+    b = Sequential([Dense(5, activation="tanh"), Dense(2)])
+    b.build((x.shape[1],), seed=seed + 999)
+    weights = [w * scale for w in a.get_weights()]
+    a.set_weights(weights)
+    b.set_weights(weights)
+    assert np.allclose(a.predict(x), b.predict(x))
+
+
+@given(seed=st.integers(0, 30), epochs=st.integers(1, 4))
+@settings(max_examples=10, deadline=None)
+def test_fixed_seed_training_is_reproducible(seed, epochs):
+    x, y = _separable(seed)
+
+    def run():
+        m = Sequential([Dense(4, activation="tanh"), Dense(2), Activation("softmax")])
+        m.build((x.shape[1],), seed=seed)
+        m.compile("adam", "categorical_crossentropy", lr=0.01)
+        return m.fit(x, y, epochs=epochs).history["loss"]
+
+    assert run() == run()

@@ -1,0 +1,118 @@
+"""I/O model: decomposition, shape effects, contention."""
+
+import pytest
+
+from repro.candle.nt3 import NT3_SPEC
+from repro.candle.p1b1 import P1B1_SPEC
+from repro.candle.p1b3 import P1B3_SPEC
+from repro.cluster.machine import SUMMIT, THETA
+from repro.sim.iomodel import FileShape, IoModel, benchmark_files
+
+
+@pytest.fixture
+def io_summit():
+    return IoModel(SUMMIT)
+
+
+@pytest.fixture
+def io_theta():
+    return IoModel(THETA)
+
+
+class TestFileShape:
+    def test_nt3_geometry(self):
+        train, test = benchmark_files(NT3_SPEC)
+        assert train.rows == 1120
+        assert train.cols == 60484  # label + features
+        assert train.nbytes == 597_000_000
+        assert test.rows == 280
+
+    def test_p1b1_autoencoder_no_label_column(self):
+        train, _ = benchmark_files(P1B1_SPEC)
+        assert train.cols == 60484  # features only
+
+    def test_p1b3_narrow_on_disk_geometry(self):
+        train, _ = benchmark_files(P1B3_SPEC)
+        assert train.cols == P1B3_SPEC.csv_cols  # narrow response file
+        assert train.row_bytes < 1000
+
+    def test_wide_rows_degenerate_internal_chunks(self):
+        train, _ = benchmark_files(NT3_SPEC)
+        # 533 KB rows >> 256 KB budget -> one row per chunk
+        assert train.internal_chunks(256 << 10) == train.rows
+
+    def test_narrow_rows_pack_many_per_chunk(self):
+        train, _ = benchmark_files(P1B3_SPEC)
+        assert train.internal_chunks(256 << 10) < train.rows / 100
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            FileShape("x", rows=0, cols=1, nbytes=1)
+
+
+class TestMethodOrdering:
+    @pytest.mark.parametrize("spec", [NT3_SPEC, P1B1_SPEC], ids=lambda s: s.name)
+    def test_wide_files_original_much_slower(self, io_summit, spec):
+        train, _ = benchmark_files(spec)
+        slow = io_summit.parse_seconds(train, "original")
+        fast = io_summit.parse_seconds(train, "chunked")
+        assert slow > 3 * fast
+
+    def test_dask_sits_between(self, io_summit):
+        train, _ = benchmark_files(NT3_SPEC)
+        slow = io_summit.parse_seconds(train, "original")
+        dask = io_summit.parse_seconds(train, "dask")
+        fast = io_summit.parse_seconds(train, "chunked")
+        assert fast < dask < slow
+
+    def test_p1b3_methods_near_parity(self, io_summit):
+        train, _ = benchmark_files(P1B3_SPEC)
+        slow = io_summit.parse_seconds(train, "original")
+        fast = io_summit.parse_seconds(train, "chunked")
+        assert 0.7 < slow / fast < 1.5
+
+    def test_unknown_method(self, io_summit):
+        train, _ = benchmark_files(NT3_SPEC)
+        with pytest.raises(ValueError):
+            io_summit.parse_seconds(train, "rdma")
+
+
+class TestContention:
+    def test_load_grows_with_clients(self, io_summit):
+        t1 = io_summit.benchmark_load_seconds(NT3_SPEC, "original", nclients=1)
+        t384 = io_summit.benchmark_load_seconds(NT3_SPEC, "original", nclients=384)
+        assert t384 > t1
+        # Summit's GPFS degrades only slightly (paper Fig 6a)
+        assert t384 < 1.3 * t1
+
+    def test_theta_contention_dwarfs_summit(self, io_summit, io_theta):
+        """§5.1: Theta's 384-node loading is >4x Summit's."""
+        s = io_summit.benchmark_load_seconds(NT3_SPEC, "original", nclients=384)
+        t = io_theta.benchmark_load_seconds(NT3_SPEC, "original", nclients=384)
+        assert t > 3.5 * s
+
+    def test_theta_single_client_faster_than_summit(self, io_summit, io_theta):
+        """Tables 3 vs 4: one client loads *faster* on Theta."""
+        s = io_summit.benchmark_load_seconds(NT3_SPEC, "original", nclients=1)
+        t = io_theta.benchmark_load_seconds(NT3_SPEC, "original", nclients=1)
+        assert t < s
+
+    def test_optimized_still_helps_under_contention(self, io_theta):
+        orig = io_theta.benchmark_load_seconds(NT3_SPEC, "original", nclients=384)
+        opt = io_theta.benchmark_load_seconds(NT3_SPEC, "chunked", nclients=384)
+        assert orig > 2.5 * opt
+
+    def test_invalid_clients(self, io_summit):
+        train, _ = benchmark_files(NT3_SPEC)
+        with pytest.raises(ValueError):
+            io_summit.load_seconds(train, "original", nclients=0)
+
+
+def test_table_row_keys(io_summit):
+    row = io_summit.table_row(NT3_SPEC)
+    assert set(row) == {
+        "train_original",
+        "train_chunked",
+        "test_original",
+        "test_chunked",
+    }

@@ -1,0 +1,99 @@
+"""Property-based invariants of the simulation layer."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.candle.nt3 import NT3_SPEC
+from repro.candle.p1b2 import P1B2_SPEC
+from repro.cluster.power import PhasePowerProfile, PowerMeter, trapezoid_energy
+from repro.core.scaling import strong_scaling_plan, weak_scaling_plan
+from repro.sim.engine import PhaseSimulator
+from repro.sim.runner import ScaledRunSimulator
+
+_SIM = ScaledRunSimulator("summit")
+
+
+@given(
+    nworkers=st.sampled_from([1, 2, 6, 13, 48, 100, 384]),
+    mode=st.sampled_from(["strong", "weak"]),
+    method=st.sampled_from(["original", "chunked", "dask"]),
+    spec=st.sampled_from([NT3_SPEC, P1B2_SPEC]),
+    seed=st.integers(0, 50),
+)
+@settings(max_examples=30, deadline=None)
+def test_run_report_invariants(nworkers, mode, method, spec, seed):
+    plan = (
+        strong_scaling_plan(spec, nworkers)
+        if mode == "strong"
+        else weak_scaling_plan(spec, nworkers)
+    )
+    r = _SIM.run(spec, plan, method=method, seed=seed, keep_profiles=False)
+    # totals compose exactly from phases
+    assert r.total_s > 0
+    assert abs(
+        r.total_s
+        - (r.load_s + r.broadcast_wait_s + r.broadcast_s + r.train_s + r.eval_s)
+    ) < 1e-9
+    # energy and power are consistent
+    assert r.energy_per_worker_j > 0
+    assert abs(r.avg_power_w - r.energy_per_worker_j / r.total_s) < 1e-6
+    # single worker never waits or communicates
+    if nworkers == 1:
+        assert r.broadcast_wait_s == 0.0
+        assert r.train_comm_s == 0.0
+    # power bounded by the device's physical range
+    device = _SIM.machine.worker_device_power()
+    assert device.idle_w * 0.5 < r.avg_power_w <= device.compute_w(1.0)
+
+
+@given(
+    durations=st.lists(
+        st.floats(min_value=0.0, max_value=100.0), min_size=2, max_size=6
+    ),
+    powers=st.lists(
+        st.floats(min_value=1.0, max_value=300.0), min_size=6, max_size=6
+    ),
+    nranks=st.integers(2, 10),
+)
+@settings(max_examples=40, deadline=None)
+def test_phase_simulator_energy_equals_sum_of_parts(durations, powers, nranks):
+    sim = PhaseSimulator(nranks, track_ranks=[0])
+    expected = np.zeros(nranks)
+    clock = np.zeros(nranks)
+    rng = np.random.default_rng(0)
+    for i, d in enumerate(durations):
+        per_rank = d * (1 + 0.1 * rng.random(nranks))
+        sim.advance(per_rank, f"phase{i}", powers[i % len(powers)])
+        expected += per_rank * powers[i % len(powers)]
+        clock += per_rank
+    assert np.allclose(sim.energy_j, expected)
+    assert np.allclose(sim.clock, clock)
+    assert sim.elapsed_s == np.max(clock)
+
+
+@given(
+    segments=st.lists(
+        st.tuples(
+            st.floats(min_value=0.5, max_value=50.0),  # duration
+            st.floats(min_value=0.0, max_value=300.0),  # watts
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+    rate=st.sampled_from([1.0, 2.0, 4.0]),
+)
+@settings(max_examples=40, deadline=None)
+def test_sampled_energy_tracks_exact_energy(segments, rate):
+    profile = PhasePowerProfile()
+    t = 0.0
+    for duration, watts in segments:
+        profile.add_phase("p", t, t + duration, watts)
+        t += duration
+    samples = PowerMeter(rate).sample(profile)
+    exact = profile.exact_energy_j()
+    approx = trapezoid_energy(samples)
+    # trapezoid error bounded by one sample interval's worth of max power
+    max_w = max(w for _, w in segments)
+    slack = max_w * (1.0 / rate) * (len(segments) + 1)
+    assert abs(approx - exact) <= slack + 1e-6

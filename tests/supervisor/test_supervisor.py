@@ -1,0 +1,191 @@
+"""CANDLE/Supervisor workflow framework."""
+
+import numpy as np
+import pytest
+
+from repro.supervisor import (
+    GridSearch,
+    ParameterSpace,
+    RandomSearch,
+    ResultsDB,
+    Supervisor,
+    TrialRecord,
+)
+
+
+class TestParameterSpace:
+    def test_grid_enumeration(self):
+        space = ParameterSpace(batch=[16, 32], epochs=[1, 2, 4])
+        assert space.grid_size() == 6
+        grid = list(space.grid())
+        assert len(grid) == 6
+        assert {"batch": 16, "epochs": 4} in grid
+
+    def test_grid_rejects_continuous(self):
+        space = ParameterSpace(lr=("loguniform", 1e-4, 1e-1))
+        with pytest.raises(ValueError, match="discrete"):
+            space.grid_size()
+
+    def test_sampling_domains(self):
+        space = ParameterSpace(
+            batch=[16, 32], lr=("loguniform", 1e-4, 1e-1), drop=("uniform", 0.0, 0.5)
+        )
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            c = space.sample(rng)
+            assert c["batch"] in (16, 32)
+            assert 1e-4 <= c["lr"] <= 1e-1
+            assert 0.0 <= c["drop"] <= 0.5
+
+    def test_loguniform_spreads_across_decades(self):
+        space = ParameterSpace(lr=("loguniform", 1e-5, 1e-1))
+        rng = np.random.default_rng(1)
+        samples = [space.sample(rng)["lr"] for _ in range(300)]
+        assert min(samples) < 1e-4 and max(samples) > 1e-2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParameterSpace()
+        with pytest.raises(ValueError):
+            ParameterSpace(x=[])
+        with pytest.raises(ValueError):
+            ParameterSpace(x=("uniform", 2.0, 1.0))
+        with pytest.raises(ValueError):
+            ParameterSpace(x=("loguniform", 0.0, 1.0))
+
+
+class TestSearchStrategies:
+    def test_grid_search(self):
+        gs = GridSearch(ParameterSpace(a=[1, 2], b=["x"]))
+        assert gs.configurations() == [{"a": 1, "b": "x"}, {"a": 2, "b": "x"}]
+
+    def test_random_search_deterministic_and_unique(self):
+        space = ParameterSpace(a=list(range(100)))
+        r1 = RandomSearch(space, n_trials=10, seed=3).configurations()
+        r2 = RandomSearch(space, n_trials=10, seed=3).configurations()
+        assert r1 == r2
+        keys = [c["a"] for c in r1]
+        assert len(set(keys)) == len(keys)
+
+    def test_random_search_exhausts_small_space(self):
+        space = ParameterSpace(a=[1, 2])
+        configs = RandomSearch(space, n_trials=10, seed=0).configurations()
+        assert len(configs) == 2  # only two unique configs exist
+
+
+class TestResultsDB:
+    def _db(self):
+        db = ResultsDB()
+        db.add(TrialRecord(0, {"lr": 0.1}, {"loss": 0.5, "acc": 0.8}))
+        db.add(TrialRecord(1, {"lr": 0.01}, {"loss": 0.2, "acc": 0.9}))
+        db.add(TrialRecord(2, {"lr": 1.0}, {}, status="failed", error="diverged"))
+        return db
+
+    def test_best_min_and_max(self):
+        db = self._db()
+        assert db.best("loss").trial_id == 1
+        assert db.best("acc", mode="max").trial_id == 1
+
+    def test_failed_excluded_from_best(self):
+        db = self._db()
+        assert len(db.failed()) == 1
+        assert all(r.status == "completed" for r in [db.best("loss")])
+
+    def test_top_k(self):
+        db = self._db()
+        top = db.top_k("loss", k=2)
+        assert [r.trial_id for r in top] == [1, 0]
+
+    def test_duplicate_trial_id_rejected(self):
+        db = self._db()
+        with pytest.raises(ValueError, match="duplicate"):
+            db.add(TrialRecord(0, {}, {}))
+
+    def test_no_metric_raises(self):
+        with pytest.raises(ValueError, match="no completed trials"):
+            ResultsDB().best("loss")
+
+    def test_save_load_roundtrip(self, tmp_path):
+        db = self._db()
+        path = tmp_path / "trials.json"
+        db.save(path)
+        back = ResultsDB.load(path)
+        assert len(back) == 3
+        assert back.best("loss").config == {"lr": 0.01}
+
+    def test_as_rows(self):
+        rows = self._db().as_rows()
+        assert rows[0]["cfg_lr"] == 0.1
+        assert rows[2]["status"] == "failed"
+
+
+class TestSupervisor:
+    def test_runs_grid_and_finds_optimum(self):
+        # quadratic with known minimum at x=3
+        runner = lambda cfg, seed: {"loss": (cfg["x"] - 3) ** 2}  # noqa: E731
+        sup = Supervisor(runner)
+        db = sup.run(GridSearch(ParameterSpace(x=list(range(7)))))
+        assert len(db) == 7
+        assert db.best("loss").config == {"x": 3}
+
+    def test_failures_recorded_not_fatal(self):
+        def runner(cfg, seed):
+            if cfg["x"] == 2:
+                raise MemoryError("OOM")  # the P1B3 linear-scaling case
+            return {"loss": cfg["x"]}
+
+        db = Supervisor(runner).run(GridSearch(ParameterSpace(x=[1, 2, 3])))
+        assert len(db.failed()) == 1
+        assert "OOM" in db.failed()[0].error
+        assert db.best("loss").config == {"x": 1}
+
+    def test_parallel_matches_serial(self):
+        runner = lambda cfg, seed: {"v": cfg["x"] * 2}  # noqa: E731
+        space = ParameterSpace(x=list(range(8)))
+        serial = Supervisor(runner, max_parallel=1).run(GridSearch(space))
+        parallel = Supervisor(runner, max_parallel=4).run(GridSearch(space))
+        assert sorted(r.metrics["v"] for r in serial.records) == sorted(
+            r.metrics["v"] for r in parallel.records
+        )
+
+    def test_trial_seeds_deterministic(self):
+        seeds = []
+        runner = lambda cfg, seed: seeds.append(seed) or {"s": seed}  # noqa: E731
+        Supervisor(runner, base_seed=100).run(GridSearch(ParameterSpace(x=[1, 2])))
+        assert seeds == [100, 101]
+
+    def test_bad_runner_return_is_a_failed_trial(self):
+        db = Supervisor(lambda c, s: "oops").run(GridSearch(ParameterSpace(x=[1])))
+        assert db.failed()
+
+    def test_incremental_runs_share_db(self):
+        runner = lambda cfg, seed: {"v": 1.0}  # noqa: E731
+        sup = Supervisor(runner)
+        db = sup.run(GridSearch(ParameterSpace(x=[1, 2])))
+        sup.run_configs([{"x": 9}], db=db)
+        assert len(db) == 3
+        assert {r.trial_id for r in db.records} == {0, 1, 2}
+
+
+def test_supervisor_drives_real_benchmark_training():
+    """The Figure 1b stack: Supervisor -> benchmark -> results DB."""
+    from repro.candle import get_benchmark
+    from repro.core.parallel import run_parallel_benchmark
+    from repro.core.scaling import ScalingPlan
+
+    bench = get_benchmark("nt3", scale=0.003, sample_scale=0.1)
+    data = bench.synth_arrays(np.random.default_rng(0))
+
+    def runner(cfg, seed):
+        plan = ScalingPlan(
+            benchmark="NT3", mode="strong", nworkers=1,
+            epochs_per_worker=cfg["epochs"], batch_size=cfg["batch"],
+            learning_rate=cfg["lr"],
+        )
+        res = run_parallel_benchmark(bench, plan, data=data, seed=seed)
+        return {"loss": res.final_train_metric["loss"]}
+
+    space = ParameterSpace(epochs=[2], batch=[20, 56], lr=[0.001, 0.01])
+    db = Supervisor(runner).run(GridSearch(space))
+    assert len(db.completed()) == 4
+    assert db.best("loss").metrics["loss"] < 0.8
