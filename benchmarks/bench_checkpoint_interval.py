@@ -1,0 +1,8 @@
+"""Checkpoint interval vs MTBF at Summit scale — Young/Daly optimum and overheads."""
+
+
+def test_checkpoint_interval(run_and_print):
+    r = run_and_print("checkpoint_interval")
+    assert r.measured["analytic makespan minimized at tau_opt (x1.0)"] == 1.0
+    assert r.measured["Daly optimum within 5% of numeric argmin"] == 1.0
+    assert r.measured["checkpointing at tau_opt beats no checkpoints"] == 1.0

@@ -1,93 +1,77 @@
 """Fault tolerance: checkpoint/restart (the paper's §7 future work).
 
-Trains NT3 under Horovod with a rank-0 checkpoint every 2 epochs, kills
-the job halfway (a simulated node failure — one rank raises), then
-restarts on fresh "processes": the checkpoint is restored on rank 0,
-broadcast to everyone, and training continues from the saved epoch. The
-resumed run's final loss matches an uninterrupted run of the same total
-epochs, bit for bit (fixed shuffle order).
+Runs NT3 under Horovod through :func:`repro.core.run_resilient_benchmark`:
+a :class:`~repro.resilience.CheckpointManager` writes an atomic,
+checksummed checkpoint every 2 epochs, a deterministic
+:class:`~repro.resilience.FaultPlan` kills rank 1 mid-training, and the
+supervisor loop retries with backoff, resuming every rank from the
+newest valid checkpoint. The recovered run's final test loss is
+bit-identical to an uninterrupted run of the same total epochs (fixed
+shuffle order + restored RNG streams). A second scenario makes the
+crash *permanent*: the supervisor shrinks the world to the survivors
+and re-derives the epoch partition and learning rate from the paper's
+scaling rules.
 
 Run:  python examples/checkpoint_restart.py
 """
 
-import os
 import tempfile
 
-import numpy as np
-
-from repro import hvd
 from repro.candle import get_benchmark
-from repro.mpi import run_spmd
-from repro.mpi.runtime import SpmdError
-from repro.nn import get_optimizer
+from repro.core.parallel import run_resilient_benchmark
+from repro.core.scaling import strong_scaling_plan
+from repro.resilience import FaultPlan, RetryPolicy
 
 WORKERS = 2
-TOTAL_EPOCHS = 6
-CRASH_AFTER = 3  # epochs before the simulated failure
-
-
-def build(bench, seed):
-    model = bench.build_model(seed=seed)
-    opt = hvd.DistributedOptimizer(get_optimizer("sgd", lr=0.002 * WORKERS))
-    model.compile(opt, "categorical_crossentropy", metrics=["accuracy"])
-    return model
+TOTAL_EPOCHS = 8  # 4 global epochs per worker (strong scaling)
+CRASH_EPOCH = 2  # global epoch at whose end rank 1 dies
 
 
 def main() -> None:
     bench = get_benchmark("nt3", scale=0.005, sample_scale=0.3)
-    data = bench.synth_arrays(np.random.default_rng(0))
-    ckpt = os.path.join(tempfile.mkdtemp(), "nt3.npz")
+    plan = strong_scaling_plan(
+        bench.spec, nworkers=WORKERS, total_epochs=TOTAL_EPOCHS, batch_size=20
+    )
 
-    def crashing_job(comm):
-        hvd.init(comm)
-        try:
-            model = build(bench, seed=comm.rank)
-            from repro.nn.callbacks import LambdaCallback
+    print(f"scenario 1: transient crash at epoch {CRASH_EPOCH}, "
+          f"checkpoints every 2 epochs")
+    result = run_resilient_benchmark(
+        bench,
+        plan,
+        tempfile.mkdtemp(),
+        seed=0,
+        every_n_epochs=2,
+        fault_plan=FaultPlan.single_crash(rank=1, epoch=CRASH_EPOCH),
+        retry=RetryPolicy(max_retries=2, base_delay_s=0.0),
+    )
+    for a in result.attempts:
+        print(f"  attempt {a.attempt}: {a.status:9s} world={a.nworkers} "
+              f"resumed from epoch {a.start_epoch}"
+              + (f" (failed ranks {a.failed_ranks})" if a.failed_ranks else ""))
+    print(f"  recovered: {result.recovered}, final loss {result.final_loss:.6f}")
 
-            def maybe_crash(epoch, logs):
-                if epoch + 1 == CRASH_AFTER and comm.rank == 1:
-                    raise RuntimeError("simulated node failure")
+    print("reference: the same run with no faults injected")
+    clean = run_resilient_benchmark(
+        bench, plan, tempfile.mkdtemp(), seed=0, every_n_epochs=2
+    )
+    print(f"  clean loss {clean.final_loss:.6f} -> bit-exact recovery: "
+          f"{clean.final_loss == result.final_loss}")
 
-            model.fit(
-                data.x_train, data.y_train,
-                batch_size=20, epochs=TOTAL_EPOCHS, shuffle=False,
-                callbacks=[
-                    hvd.BroadcastGlobalVariablesCallback(0),
-                    hvd.CheckpointCallback(ckpt, every_n_epochs=2),
-                    LambdaCallback(on_epoch_end=maybe_crash),
-                ],
-            )
-        finally:
-            hvd.shutdown()
-
-    print(f"phase 1: training {TOTAL_EPOCHS} epochs, crash injected at epoch {CRASH_AFTER}...")
-    try:
-        run_spmd(WORKERS, crashing_job)
-    except SpmdError as exc:
-        print(f"  job died as planned: {exc}")
-    assert os.path.exists(ckpt), "checkpoint should have survived the crash"
-
-    def restart_job(comm):
-        hvd.init(comm)
-        try:
-            model = build(bench, seed=100 + comm.rank)  # fresh random init
-            meta = hvd.resume_from_checkpoint(model, ckpt)
-            start = meta["epoch"] + 1
-            print(f"  rank {comm.rank}: resuming from epoch {start}")
-            model.fit(
-                data.x_train, data.y_train,
-                batch_size=20, epochs=TOTAL_EPOCHS - start, shuffle=False,
-                initial_epoch=start,
-            )
-            # evaluate with dropout off: rank-identical if weights agree
-            return model.evaluate(data.x_test, data.y_test)["loss"]
-        finally:
-            hvd.shutdown()
-
-    print("phase 2: restarting from the checkpoint...")
-    losses = run_spmd(WORKERS, restart_job)
-    print(f"  final test loss after resume: {losses[0]:.6f} (identical on "
-          f"all ranks: {max(losses) - min(losses) < 1e-12})")
+    print("scenario 2: rank 1 dies permanently -> elastic shrink")
+    shrunk = run_resilient_benchmark(
+        bench,
+        plan,
+        tempfile.mkdtemp(),
+        seed=0,
+        every_n_epochs=2,
+        fault_plan=FaultPlan.single_crash(rank=1, epoch=1, permanent=True),
+        retry=RetryPolicy(max_retries=2, base_delay_s=0.0),
+    )
+    fp = shrunk.final_plan
+    print(f"  dead ranks {shrunk.dead_ranks}; world {shrunk.initial_plan.nworkers} "
+          f"-> {shrunk.final_world}, replanned to {fp.epochs_per_worker} "
+          f"epochs/worker at lr {fp.learning_rate}")
+    print(f"  completed with final loss {shrunk.final_loss:.6f}")
 
 
 if __name__ == "__main__":

@@ -23,6 +23,9 @@ al., ICPP 2019) depends on:
   optimized data-loading method.
 - :mod:`repro.sim` — a discrete-event simulator that reruns the paper's
   scaling experiments at 1-3,072 workers on the machine models.
+- :mod:`repro.resilience` — the paper's §7 future work, built out:
+  seeded fault injection, checksummed checkpoint/restart, and elastic
+  recovery with retries and world-shrinking.
 - :mod:`repro.analysis` — phase profiling, energy accounting, timeline
   analysis, and report formatting.
 - :mod:`repro.experiments` — one module per paper table/figure.
@@ -42,6 +45,7 @@ __all__ = [
     "candle",
     "core",
     "sim",
+    "resilience",
     "analysis",
     "experiments",
     "supervisor",

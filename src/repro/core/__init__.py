@@ -43,5 +43,16 @@ __all__ = [
     "strong_scaling_plan",
     "weak_scaling_plan",
     "run_parallel_benchmark",
+    "run_resilient_benchmark",
     "ParallelRunResult",
 ]
+
+
+def __getattr__(name):
+    # Lazy: repro.resilience imports repro.core submodules, so the
+    # resilient runner can only be re-exported on demand.
+    if name == "run_resilient_benchmark":
+        from repro.core.parallel import run_resilient_benchmark
+
+        return run_resilient_benchmark
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -35,7 +35,23 @@ from repro.hvd.timeline import Timeline
 from repro.mpi import run_spmd
 from repro.nn import get_optimizer
 
-__all__ = ["run_parallel_benchmark", "ParallelRunResult", "RankReport"]
+__all__ = [
+    "run_parallel_benchmark",
+    "run_resilient_benchmark",
+    "ParallelRunResult",
+    "RankReport",
+]
+
+
+def __getattr__(name):
+    # Lazy re-export: the fault-tolerant runner lives in
+    # repro.resilience (which imports this module's scaling machinery),
+    # so an eager import here would be a cycle.
+    if name == "run_resilient_benchmark":
+        from repro.resilience.recovery import run_resilient_benchmark
+
+        return run_resilient_benchmark
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass

@@ -88,6 +88,7 @@ _REGISTRY: Dict[str, str] = {
     "efficiency": "repro.experiments.efficiency",
     "ps_baseline": "repro.experiments.ps_baseline",
     "noise_scale": "repro.experiments.noise_scale_exp",
+    "checkpoint_interval": "repro.experiments.checkpoint_interval",
 }
 
 

@@ -1,0 +1,214 @@
+"""Checkpoint-interval vs MTBF: time and energy overhead at paper scale.
+
+The paper's §7 promises checkpoint/restart for fault tolerance; this
+experiment quantifies what that costs and how to tune it. Three panels:
+
+a. **Analytic** — Daly's expected-makespan model for a 24-hour NT3
+   campaign on 1,536 Summit GPUs: sweep the checkpoint interval as
+   multiples of the Young/Daly optimum τ = √(2·C·M) and show the
+   makespan is minimized at the optimum (too-frequent checkpoints pay
+   write overhead, too-rare ones pay lost work).
+b. **Simulated** — the same sweep through
+   :class:`repro.sim.faultmodel.ResilientRunSimulator`: seeded failure
+   arrivals, lost work, restarts with data reload, and the *energy*
+   overhead the analytic model cannot see (lost work burns training
+   power, restart reloads burn I/O power).
+c. **MTBF sweep** — per-rank MTBF from harsh to generous, always
+   checkpointing at that MTBF's own τ_opt: the overhead of resilience
+   as a function of machine reliability.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.candle.nt3 import NT3_SPEC
+from repro.cluster.machine import SUMMIT
+from repro.core.scaling import strong_scaling_plan
+from repro.experiments.base import ExperimentResult
+from repro.sim.faultmodel import (
+    FailureModel,
+    ResilientRunSimulator,
+    checkpoint_write_seconds,
+    daly_interval,
+    expected_makespan,
+    young_daly_interval,
+)
+
+#: the paper's Summit configuration: 256 nodes x 6 V100s
+NWORKERS = 1536
+
+#: a day-long campaign for the analytic panel (many trials back-to-back)
+CAMPAIGN_WORK_S = 24 * 3600.0
+
+#: harsh per-rank MTBF for the simulated panel so seeded failures
+#: actually land inside a short simulated run
+SIM_MTBF_RANK_S = 7 * 24 * 3600.0
+
+#: per-worker epoch budget for the simulated panel: long enough that
+#: training dominates the one-off data-load, as in the paper's real
+#: campaigns, so the checkpoint-interval trade-off is actually exercised
+SIM_EPOCHS_PER_WORKER = 64
+
+RESTART_S = 120.0
+
+INTERVAL_MULTIPLES = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    ckpt_s = checkpoint_write_seconds(NT3_SPEC, SUMMIT)
+
+    # ---- panel a: Daly's analytic makespan over the interval sweep ----
+    job_mtbf = SIM_MTBF_RANK_S / NWORKERS
+    tau_opt = young_daly_interval(ckpt_s, job_mtbf)
+    rows_a = []
+    for mult in INTERVAL_MULTIPLES:
+        tau = tau_opt * mult
+        makespan = expected_makespan(
+            CAMPAIGN_WORK_S, tau, ckpt_s, job_mtbf, RESTART_S
+        )
+        rows_a.append(
+            {
+                "interval_x_tau_opt": mult,
+                "interval_s": round(tau, 1),
+                "expected_makespan_h": round(makespan / 3600.0, 3),
+                "overhead_pct": round(
+                    (makespan - CAMPAIGN_WORK_S) / CAMPAIGN_WORK_S * 100, 2
+                ),
+            }
+        )
+    best_mult = min(rows_a, key=lambda r: r["expected_makespan_h"])[
+        "interval_x_tau_opt"
+    ]
+
+    # fine numeric argmin vs Daly's closed-form optimum
+    grid = [tau_opt * (0.05 + 0.01 * i) for i in range(400)]
+    numeric_opt = min(
+        grid,
+        key=lambda t: expected_makespan(
+            CAMPAIGN_WORK_S, t, ckpt_s, job_mtbf, RESTART_S
+        ),
+    )
+    daly_opt = daly_interval(ckpt_s, job_mtbf)
+    daly_err_pct = abs(daly_opt - numeric_opt) / numeric_opt * 100.0
+
+    # ---- panel b: simulated sweep with seeded failures ----------------
+    plan = strong_scaling_plan(
+        NT3_SPEC,
+        nworkers=NWORKERS,
+        total_epochs=NWORKERS * SIM_EPOCHS_PER_WORKER,
+    )
+    fm = FailureModel(mtbf_rank_s=SIM_MTBF_RANK_S, restart_s=RESTART_S)
+    sim = ResilientRunSimulator(SUMMIT, fm)
+    seeds = (3,) if fast else (3, 5, 7)
+    rows_b = []
+    for mult in INTERVAL_MULTIPLES:
+        reps = [
+            sim.run(NT3_SPEC, plan, interval_s=tau_opt * mult, seed=s)
+            for s in seeds
+        ]
+        rows_b.append(
+            {
+                "interval_x_tau_opt": mult,
+                "interval_s": round(tau_opt * mult, 1),
+                "failures": round(
+                    sum(r.n_failures for r in reps) / len(reps), 1
+                ),
+                "checkpoints": round(
+                    sum(r.n_checkpoints for r in reps) / len(reps), 1
+                ),
+                "time_overhead_pct": round(
+                    sum(r.time_overhead_pct for r in reps) / len(reps), 2
+                ),
+                "energy_overhead_pct": round(
+                    sum(r.energy_overhead_pct for r in reps) / len(reps), 2
+                ),
+            }
+        )
+    # no-checkpoint control: one giant interval, same failure seeds
+    no_ckpt = [
+        sim.run(NT3_SPEC, plan, interval_s=1e12, seed=s) for s in seeds
+    ]
+    at_opt = [
+        sim.run(NT3_SPEC, plan, interval_s=tau_opt, seed=s) for s in seeds
+    ]
+    n_fail_total = sum(r.n_failures for r in no_ckpt)
+    ckpt_beats_none = sum(a.total_s for a in at_opt) < sum(
+        r.total_s for r in no_ckpt
+    )
+
+    # ---- panel c: MTBF sweep at each MTBF's own tau_opt ---------------
+    rows_c = []
+    for mtbf_days in (1, 7, 30, 90):
+        mtbf_rank = mtbf_days * 24 * 3600.0
+        fm_c = FailureModel(mtbf_rank_s=mtbf_rank, restart_s=RESTART_S)
+        tau_c = young_daly_interval(ckpt_s, fm_c.job_mtbf_s(NWORKERS))
+        rep = ResilientRunSimulator(SUMMIT, fm_c).run(
+            NT3_SPEC, plan, interval_s=tau_c, seed=seeds[0]
+        )
+        rows_c.append(
+            {
+                "mtbf_rank_days": mtbf_days,
+                "job_mtbf_s": round(fm_c.job_mtbf_s(NWORKERS), 1),
+                "tau_opt_s": round(tau_c, 1),
+                "failures": rep.n_failures,
+                "time_overhead_pct": round(rep.time_overhead_pct, 2),
+                "energy_overhead_pct": round(rep.energy_overhead_pct, 2),
+            }
+        )
+    # analytic overhead at tau_opt shrinks as the machine gets healthier
+    analytic_ovh = [
+        expected_makespan(
+            CAMPAIGN_WORK_S,
+            young_daly_interval(ckpt_s, d * 24 * 3600.0 / NWORKERS),
+            ckpt_s,
+            d * 24 * 3600.0 / NWORKERS,
+            RESTART_S,
+        )
+        for d in (1, 7, 30, 90)
+    ]
+    ovh_monotone = all(
+        analytic_ovh[i] >= analytic_ovh[i + 1] for i in range(len(analytic_ovh) - 1)
+    )
+
+    return ExperimentResult(
+        experiment_id="checkpoint_interval",
+        title=(
+            "Checkpoint interval vs MTBF: time/energy overhead "
+            f"(NT3, Summit, {NWORKERS} GPUs)"
+        ),
+        panels={
+            "a: analytic expected makespan (24 h campaign)": rows_a,
+            "b: simulated overhead, seeded failures": rows_b,
+            "c: MTBF sweep at tau_opt": rows_c,
+        },
+        paper_claims={
+            "analytic makespan minimized at tau_opt (x1.0)": 1.0,
+            "Daly optimum within 5% of numeric argmin": 1.0,
+            "checkpointing at tau_opt beats no checkpoints": 1.0,
+            "overhead at tau_opt shrinks with healthier MTBF": 1.0,
+        },
+        measured={
+            "analytic makespan minimized at tau_opt (x1.0)": float(
+                best_mult == 1.0
+            ),
+            "Daly optimum within 5% of numeric argmin": float(
+                daly_err_pct <= 5.0
+            ),
+            "checkpointing at tau_opt beats no checkpoints": float(
+                n_fail_total >= 1 and ckpt_beats_none
+            ),
+            "overhead at tau_opt shrinks with healthier MTBF": float(
+                ovh_monotone
+            ),
+        },
+        notes=(
+            f"C = {ckpt_s:.2f} s per checkpoint (rank-0 write of weights + "
+            f"Adam slots through one GPFS client), job MTBF = "
+            f"{job_mtbf:.0f} s at {NWORKERS} ranks -> tau_opt = "
+            f"{tau_opt:.1f} s (Young) / {daly_opt:.1f} s (Daly, "
+            f"{daly_err_pct:.1f}% off the numeric argmin). The energy "
+            "overhead exceeds the time overhead's I/O share because lost "
+            "work burns full training power before every restart."
+        ),
+    )

@@ -25,6 +25,8 @@ own rank identity, exactly like per-process Horovod.
 from repro.hvd.callbacks import (
     BroadcastGlobalVariablesCallback,
     CheckpointCallback,
+    FaultInjectionCallback,
+    ManagedCheckpointCallback,
     MetricAverageCallback,
     resume_from_checkpoint,
 )
@@ -57,6 +59,8 @@ __all__ = [
     "DistributedOptimizer",
     "BroadcastGlobalVariablesCallback",
     "CheckpointCallback",
+    "ManagedCheckpointCallback",
+    "FaultInjectionCallback",
     "MetricAverageCallback",
     "resume_from_checkpoint",
     "FusionBuffer",

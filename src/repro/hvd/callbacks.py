@@ -21,12 +21,18 @@ from typing import Optional
 from repro.hvd import ops as _ops
 from repro.hvd import runtime as _rt
 from repro.nn.callbacks import Callback
-from repro.nn.serialization import load_checkpoint, save_checkpoint
+from repro.nn.serialization import (
+    capture_rng_state,
+    load_checkpoint,
+    save_checkpoint,
+)
 
 __all__ = [
     "BroadcastGlobalVariablesCallback",
     "MetricAverageCallback",
     "CheckpointCallback",
+    "ManagedCheckpointCallback",
+    "FaultInjectionCallback",
     "resume_from_checkpoint",
 ]
 
@@ -94,6 +100,80 @@ class CheckpointCallback(Callback):
         if _rt.size() > 1:
             # barrier so no rank races ahead of a half-written checkpoint
             _rt.comm().barrier()
+
+
+class ManagedCheckpointCallback(Callback):
+    """Rank 0 checkpoints through a :class:`~repro.resilience.CheckpointManager`.
+
+    The manager adds what the plain :class:`CheckpointCallback` lacks
+    for fault tolerance: atomic writes, a checksummed manifest, and
+    retention of the last N checkpoints — so an injected crash mid-write
+    or a corrupted file can never poison the restart path. As with the
+    plain callback, only the root writes and every rank barriers on the
+    epoch boundary so no rank races ahead of a half-finished write.
+
+    Every rank's RNG streams (shuffle order, dropout masks) are
+    gathered to the root and stored in the checkpoint, so a resume
+    restores not just the weights but the *stochastic position* of each
+    rank — the piece that makes resumed training bit-identical to an
+    uninterrupted run.
+    """
+
+    def __init__(self, manager, every_n_epochs: int = 1, root: int = 0):
+        super().__init__()
+        if every_n_epochs <= 0:
+            raise ValueError(
+                f"every_n_epochs must be positive, got {every_n_epochs}"
+            )
+        self.manager = manager
+        self.every_n_epochs = int(every_n_epochs)
+        self.root = root
+        self.epochs_written: list[int] = []
+
+    def on_epoch_end(self, epoch, logs=None):
+        if (epoch + 1) % self.every_n_epochs != 0:
+            return
+        rng_state = capture_rng_state(self.model)
+        if _rt.size() > 1:
+            states = _rt.comm().gather(rng_state, root=self.root)
+        else:
+            states = [rng_state]
+        if _rt.rank() == self.root:
+            self.manager.save(
+                self.model, epoch, extra_state={"rank_rng": states}
+            )
+        self.epochs_written.append(epoch)
+        if _rt.size() > 1:
+            _rt.comm().barrier()
+
+
+class FaultInjectionCallback(Callback):
+    """Fire a :class:`repro.resilience.FaultInjector`'s training-time faults.
+
+    Bridges the Keras-style callback lifecycle to the injector's hook
+    points: epoch begin (stragglers, I/O stalls), batch begin
+    (step-level faults), epoch end (crashes, collective failures). The
+    injector is duck-typed — anything exposing ``on_epoch_begin(rank,
+    epoch)``, ``on_step(rank, epoch, step)`` and ``on_epoch_end(rank,
+    epoch)`` works — which keeps this module free of a resilience
+    import cycle.
+    """
+
+    def __init__(self, injector):
+        super().__init__()
+        self.injector = injector
+        self._epoch: Optional[int] = None
+
+    def on_epoch_begin(self, epoch, logs=None):
+        self._epoch = epoch
+        self.injector.on_epoch_begin(_rt.rank(), epoch)
+
+    def on_batch_begin(self, batch, logs=None):
+        if self._epoch is not None:
+            self.injector.on_step(_rt.rank(), self._epoch, batch)
+
+    def on_epoch_end(self, epoch, logs=None):
+        self.injector.on_epoch_end(_rt.rank(), epoch)
 
 
 def resume_from_checkpoint(model, path, root: int = 0) -> Optional[dict]:

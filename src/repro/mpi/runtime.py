@@ -23,12 +23,33 @@ __all__ = ["run_spmd", "SpmdError"]
 
 
 class SpmdError(RuntimeError):
-    """A rank raised; carries the originating rank and exception."""
+    """One or more ranks raised; carries *every* rank's exception.
 
-    def __init__(self, rank: int, cause: BaseException):
-        super().__init__(f"rank {rank} failed: {cause!r}")
-        self.rank = rank
-        self.cause = cause
+    ``failures`` holds the complete rank-ordered ``(rank, exception)``
+    list — when several ranks fail in the same run (a real pattern for
+    injected faults and collective breakdowns), no exception is
+    dropped. ``rank``/``cause`` remain the lowest-ranked failure for
+    compatibility with single-failure callers.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        cause: BaseException,
+        failures: Optional[Sequence[tuple[int, BaseException]]] = None,
+    ):
+        self.failures: list[tuple[int, BaseException]] = (
+            sorted(failures, key=lambda f: f[0]) if failures else [(rank, cause)]
+        )
+        self.rank, self.cause = self.failures[0]
+        detail = "; ".join(f"rank {r}: {exc!r}" for r, exc in self.failures)
+        count = len(self.failures)
+        prefix = f"{count} ranks failed" if count > 1 else f"rank {self.rank} failed"
+        super().__init__(f"{prefix}: {detail}")
+
+    @property
+    def failed_ranks(self) -> list[int]:
+        return [r for r, _ in self.failures]
 
 
 def run_spmd(
@@ -38,6 +59,7 @@ def run_spmd(
     local_size: int = 1,
     timeout: float = DEFAULT_TIMEOUT,
     rank_args: Optional[Sequence[tuple]] = None,
+    fault_injector: Optional[Any] = None,
 ) -> list:
     """Run ``fn(comm, *args)`` on ``nprocs`` ranks; return per-rank results.
 
@@ -45,6 +67,14 @@ def run_spmd(
     paper's one-GPU-per-process pinning). ``rank_args`` optionally gives
     each rank its own extra argument tuple instead of the shared
     ``args``. Results come back rank-ordered.
+
+    ``fault_injector`` is the per-rank fault hook (any object with an
+    ``on_rank_start(rank)`` method — canonically a
+    :class:`repro.resilience.FaultInjector`, duck-typed here to keep
+    the MPI layer dependency-free). It runs on each rank *before*
+    ``fn`` and may sleep (I/O stall, straggler) or raise (start-up
+    crash); a raise takes the normal failure path: the run aborts and
+    the exception surfaces in :class:`SpmdError`.
     """
     if nprocs <= 0:
         raise ValueError(f"nprocs must be positive, got {nprocs}")
@@ -62,6 +92,8 @@ def run_spmd(
         comm = Communicator(context, rank, local_size=local_size)
         extra = rank_args[rank] if rank_args is not None else args
         try:
+            if fault_injector is not None:
+                fault_injector.on_rank_start(rank)
             results[rank] = fn(comm, *extra)
         except AbortError:
             pass  # victim of another rank's failure
@@ -83,6 +115,7 @@ def run_spmd(
             t.join()
 
     if failures:
+        failures.sort(key=lambda f: f[0])
         rank, cause = failures[0]
-        raise SpmdError(rank, cause) from cause
+        raise SpmdError(rank, cause, failures=failures) from cause
     return results

@@ -12,12 +12,22 @@ restores+broadcasts on restart lives in :mod:`repro.hvd.callbacks`.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import tempfile
 from typing import Optional
 
 import numpy as np
 
-__all__ = ["save_checkpoint", "load_checkpoint", "CheckpointError"]
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "checksum_file",
+    "capture_rng_state",
+    "restore_rng_state",
+    "CheckpointError",
+]
 
 _FORMAT_VERSION = 1
 
@@ -26,16 +36,80 @@ class CheckpointError(RuntimeError):
     """Checkpoint file is missing, corrupt, or mismatched."""
 
 
+def checksum_file(path) -> str:
+    """SHA-256 of a file's bytes (the checkpoint integrity fingerprint)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for block in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def _npz_path(path) -> str:
+    """The on-disk name ``np.savez`` would use (appends ``.npz``)."""
+    final = str(path)
+    return final if final.endswith(".npz") else final + ".npz"
+
+
 def _optimizer_of(model):
     opt = model.optimizer
     # DistributedOptimizer proxies state to its base optimizer
     return getattr(opt, "base", opt)
 
 
-def save_checkpoint(model, path, epoch: Optional[int] = None) -> None:
+def capture_rng_state(model) -> dict:
+    """Snapshot every RNG stream training consumes, JSON-serializably.
+
+    Weights and optimizer slots are not the whole training state: the
+    shuffle generator and each Dropout layer's mask generator advance
+    every epoch, and a resume that resets them diverges from the
+    uninterrupted run on the first stochastic draw. The returned dict
+    (bit-generator states, plain ints) goes into the checkpoint's
+    metadata; :func:`restore_rng_state` applies it after the weights.
+    """
+    state: dict = {"shuffle": model._shuffle_rng.bit_generator.state}
+    layers = {}
+    for i, layer in enumerate(getattr(model, "layers", [])):
+        rng = getattr(layer, "_rng", None)
+        if rng is not None:
+            layers[f"layer{i}"] = rng.bit_generator.state
+    state["layers"] = layers
+    return state
+
+
+def restore_rng_state(model, state: dict) -> None:
+    """Re-seed the model's RNG streams from a :func:`capture_rng_state` dict.
+
+    Layers are matched positionally, so the model must have the same
+    architecture the snapshot was taken from (the same guarantee
+    checkpoint loading already enforces for parameters).
+    """
+    shuffle = state.get("shuffle")
+    if shuffle is not None:
+        model._shuffle_rng.bit_generator.state = shuffle
+    layer_states = state.get("layers", {})
+    for i, layer in enumerate(getattr(model, "layers", [])):
+        rng = getattr(layer, "_rng", None)
+        key = f"layer{i}"
+        if rng is not None and key in layer_states:
+            rng.bit_generator.state = layer_states[key]
+
+
+def save_checkpoint(
+    model, path, epoch: Optional[int] = None, extra_state: Optional[dict] = None
+) -> str:
     """Write model weights + optimizer state + metadata to ``path``.
 
     The model must be compiled (the optimizer is part of the state).
+
+    The write is *atomic*: the archive is assembled in a temporary file
+    in the same directory and moved into place with ``os.replace``, so
+    a crash mid-write (a killed rank, a full disk, an injected fault)
+    can never leave a truncated checkpoint under the final name — the
+    previous checkpoint, if any, survives intact. Returns the SHA-256
+    hex digest of the written file so callers (e.g.
+    :class:`repro.resilience.CheckpointManager`) can verify integrity
+    on load.
     """
     model._require_compiled()
     opt = _optimizer_of(model)
@@ -52,20 +126,54 @@ def save_checkpoint(model, path, epoch: Optional[int] = None) -> None:
         "lr": opt.lr,
         "iterations": opt.iterations,
         "param_names": sorted(model.named_parameters()),
+        # caller-provided JSON state (e.g. per-rank RNG snapshots)
+        "extra": extra_state,
     }
     arrays["meta::json"] = np.frombuffer(
         json.dumps(meta).encode(), dtype=np.uint8
     ).copy()
-    np.savez(path, **arrays)
+
+    final = _npz_path(path)
+    directory = os.path.dirname(final) or "."
+    fd, tmp = tempfile.mkstemp(
+        prefix=os.path.basename(final) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return checksum_file(final)
 
 
-def load_checkpoint(model, path) -> dict:
+def load_checkpoint(model, path, expected_sha256: Optional[str] = None) -> dict:
     """Restore weights + optimizer state in place; returns the metadata.
 
     Validates that the checkpoint's parameter set matches the model —
-    resuming into a different architecture fails loudly.
+    resuming into a different architecture fails loudly. When
+    ``expected_sha256`` is given, the file's bytes are checksummed
+    *before* parsing and a mismatch (corruption, truncation, a foreign
+    file under the right name) raises :class:`CheckpointError` without
+    touching the model.
     """
     model._require_compiled()
+    if expected_sha256 is not None:
+        try:
+            actual = checksum_file(path)
+        except OSError as exc:
+            raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+        if actual != expected_sha256:
+            raise CheckpointError(
+                f"checksum mismatch for {path!r}: "
+                f"expected {expected_sha256[:12]}…, got {actual[:12]}…"
+            )
     try:
         with np.load(path) as data:
             arrays = {key: data[key] for key in data.files}

@@ -1,0 +1,239 @@
+"""CheckpointManager: retained, checksummed, atomically-written checkpoints.
+
+:mod:`repro.nn.serialization` knows how to freeze one model+optimizer
+into one ``.npz``; this manager turns that into a *fault-tolerant
+store*:
+
+- every write goes to ``ckpt-<epoch>.npz`` via the atomic
+  temp-then-``os.replace`` path, and its SHA-256 is recorded in a
+  manifest (itself written atomically);
+- the last N checkpoints are retained, older ones pruned;
+- on restore, candidates are tried newest-first and *verified against
+  their recorded checksum* — a corrupted or truncated file is refused
+  and the previous retained checkpoint is used instead;
+- :meth:`restore_distributed` implements the Horovod protocol: rank 0
+  loads, then weights, optimizer slots, and metadata are broadcast so
+  every rank resumes bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.nn.serialization import (
+    CheckpointError,
+    checksum_file,
+    load_checkpoint,
+    restore_rng_state,
+    save_checkpoint,
+)
+
+__all__ = ["CheckpointManager", "CheckpointInfo"]
+
+_MANIFEST = "MANIFEST.json"
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """One retained checkpoint: epoch, file, and recorded digest."""
+
+    epoch: int
+    path: str
+    sha256: Optional[str] = None
+
+
+class CheckpointManager:
+    """A directory of verified, retained training checkpoints."""
+
+    def __init__(self, directory, keep_last: int = 3, prefix: str = "ckpt"):
+        if keep_last <= 0:
+            raise ValueError(f"keep_last must be positive, got {keep_last}")
+        if not re.fullmatch(r"[A-Za-z0-9_.-]+", prefix):
+            raise ValueError(f"prefix must be a plain filename token, got {prefix!r}")
+        self.directory = str(directory)
+        self.keep_last = int(keep_last)
+        self.prefix = prefix
+        os.makedirs(self.directory, exist_ok=True)
+
+    # -- naming ------------------------------------------------------------
+    def path_for(self, epoch: int) -> str:
+        return os.path.join(self.directory, f"{self.prefix}-{epoch:06d}.npz")
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.directory, _MANIFEST)
+
+    # -- manifest ----------------------------------------------------------
+    def _read_manifest(self) -> dict[str, str]:
+        """Filename → sha256 for every recorded checkpoint."""
+        try:
+            with open(self.manifest_path) as fh:
+                raw = json.load(fh)
+        except (OSError, ValueError):
+            return {}
+        return {str(k): str(v) for k, v in raw.items()}
+
+    def _write_manifest(self, entries: dict[str, str]) -> None:
+        fd, tmp = tempfile.mkstemp(
+            prefix=_MANIFEST + ".", suffix=".tmp", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entries, fh, indent=1, sort_keys=True)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.manifest_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- listing -----------------------------------------------------------
+    def checkpoints(self) -> list[CheckpointInfo]:
+        """Retained checkpoints on disk, oldest → newest.
+
+        Files present but unrecorded (e.g. the manifest write crashed)
+        are still listed, with ``sha256=None`` — restore will attempt a
+        guarded load of those rather than silently ignoring them.
+        """
+        pattern = re.compile(rf"^{re.escape(self.prefix)}-(\d+)\.npz$")
+        manifest = self._read_manifest()
+        found = []
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return []
+        for name in names:
+            match = pattern.match(name)
+            if match:
+                found.append(
+                    CheckpointInfo(
+                        epoch=int(match.group(1)),
+                        path=os.path.join(self.directory, name),
+                        sha256=manifest.get(name),
+                    )
+                )
+        return sorted(found, key=lambda c: c.epoch)
+
+    def latest_epoch(self) -> Optional[int]:
+        ckpts = self.checkpoints()
+        return ckpts[-1].epoch if ckpts else None
+
+    # -- writing -----------------------------------------------------------
+    def save(
+        self, model, epoch: int, extra_state: Optional[dict] = None
+    ) -> CheckpointInfo:
+        """Checkpoint the model at ``epoch``; prune beyond ``keep_last``."""
+        path = self.path_for(epoch)
+        digest = save_checkpoint(model, path, epoch=epoch, extra_state=extra_state)
+        manifest = self._read_manifest()
+        manifest[os.path.basename(path)] = digest
+        self._write_manifest(manifest)
+        self._prune()
+        return CheckpointInfo(epoch=epoch, path=path, sha256=digest)
+
+    def _prune(self) -> None:
+        ckpts = self.checkpoints()
+        doomed = ckpts[: -self.keep_last] if len(ckpts) > self.keep_last else []
+        if not doomed:
+            return
+        manifest = self._read_manifest()
+        for info in doomed:
+            try:
+                os.unlink(info.path)
+            except OSError:
+                pass
+            manifest.pop(os.path.basename(info.path), None)
+        self._write_manifest(manifest)
+
+    # -- verification ------------------------------------------------------
+    def verify(self, info: CheckpointInfo) -> bool:
+        """True when the file's bytes match its recorded checksum."""
+        if info.sha256 is None:
+            return False
+        try:
+            return checksum_file(info.path) == info.sha256
+        except OSError:
+            return False
+
+    def latest_valid(self) -> Optional[CheckpointInfo]:
+        """Newest checkpoint whose checksum verifies; None when nothing does."""
+        for info in reversed(self.checkpoints()):
+            if self.verify(info):
+                return info
+        return None
+
+    # -- restoring ---------------------------------------------------------
+    def restore_latest(self, model) -> Optional[dict]:
+        """Restore the newest *loadable* checkpoint into the model.
+
+        Candidates are tried newest-first. A checksum mismatch or a
+        parse failure disqualifies a candidate (it is never half-loaded
+        into the model) and the scan falls back to the previous
+        retained checkpoint. Returns the loaded metadata, or None when
+        no checkpoint survives scrutiny.
+        """
+        for info in reversed(self.checkpoints()):
+            try:
+                meta = load_checkpoint(model, info.path, expected_sha256=info.sha256)
+            except CheckpointError:
+                continue
+            _apply_rank_rng(model, meta, 0)
+            return meta
+        return None
+
+    def restore_distributed(self, model, root: int = 0) -> Optional[dict]:
+        """Rank-``root`` restores, then broadcasts state to every rank.
+
+        Requires an initialized :mod:`repro.hvd` rank context. The
+        broadcast covers weights, optimizer slot arrays, and the
+        optimizer scalars, so a resumed multi-rank run is bit-identical
+        to the uninterrupted one. Returns the checkpoint metadata on
+        every rank (None everywhere when there is nothing to restore).
+        """
+        from repro import hvd  # deferred: keep this module import-light
+
+        meta: Optional[dict] = None
+        if hvd.rank() == root:
+            meta = self.restore_latest(model)
+        if hvd.size() == 1:
+            return meta
+        meta = hvd.broadcast(meta, root=root, name="ckpt_meta")
+        if meta is None:
+            return None
+        hvd.broadcast_weights(model, root=root)
+        opt = getattr(model.optimizer, "base", model.optimizer)
+        state = opt._state if hvd.rank() == root else None
+        state = hvd.broadcast(state, root=root, name="ckpt_opt_state")
+        if hvd.rank() != root:
+            opt._state.clear()
+            for pname, slots in state.items():
+                opt._state[pname] = {k: v.copy() for k, v in slots.items()}
+        opt.lr = float(meta["lr"])
+        opt.iterations = int(meta["iterations"])
+        _apply_rank_rng(model, meta, hvd.rank())
+        return meta
+
+
+def _apply_rank_rng(model, meta: Optional[dict], rank: int) -> None:
+    """Restore this rank's RNG snapshot from the checkpoint metadata.
+
+    Checkpoints written by
+    :class:`repro.hvd.callbacks.ManagedCheckpointCallback` carry every
+    rank's RNG streams (gathered to the writer); restoring them is what
+    makes a resumed run bit-identical to an uninterrupted one even with
+    dropout active. Checkpoints without the snapshot (or from a larger
+    world than the snapshot covers, after an elastic shrink) restore
+    weights only.
+    """
+    extra = (meta or {}).get("extra") or {}
+    states = extra.get("rank_rng")
+    if states and rank < len(states):
+        restore_rng_state(model, states[rank])

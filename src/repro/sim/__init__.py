@@ -27,6 +27,17 @@ percentages — is *derived* by the mechanism.
 from repro.sim.calibration import Calibration, DEFAULT_CALIBRATION, calibration_report
 from repro.sim.computemodel import ComputeModel
 from repro.sim.engine import PhaseSimulator
+from repro.sim.faultmodel import (
+    FailureModel,
+    MtbfFailureProcess,
+    ResilientRunSimulator,
+    ResilientSimReport,
+    checkpoint_write_seconds,
+    daly_interval,
+    expected_makespan,
+    simulate_resilient_run,
+    young_daly_interval,
+)
 from repro.sim.iomodel import FileShape, IoModel, benchmark_files
 from repro.sim.report import SimRunReport, improvement_percent
 from repro.sim.runner import ScaledRunSimulator, simulate_run
@@ -44,4 +55,13 @@ __all__ = [
     "improvement_percent",
     "ScaledRunSimulator",
     "simulate_run",
+    "MtbfFailureProcess",
+    "FailureModel",
+    "young_daly_interval",
+    "daly_interval",
+    "expected_makespan",
+    "checkpoint_write_seconds",
+    "ResilientSimReport",
+    "ResilientRunSimulator",
+    "simulate_resilient_run",
 ]

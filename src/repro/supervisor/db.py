@@ -18,8 +18,13 @@ class TrialRecord:
     config: Dict[str, Any]
     metrics: Dict[str, float]
     status: str = "completed"  # completed | failed
+    #: on failure, the full formatted traceback (first line is the
+    #: ``Type: message`` summary, so substring checks on the message work)
     error: Optional[str] = None
     wall_seconds: float = 0.0
+    #: how many times the runner was invoked for this trial (>1 only
+    #: when the Supervisor's retry policy re-ran a failed attempt)
+    attempts: int = 1
     timestamp: float = field(default_factory=time.time)
 
     def metric(self, name: str) -> float:

@@ -46,6 +46,43 @@ def test_failure_carries_rank_and_cause():
     assert isinstance(exc.value.cause, KeyError)
 
 
+def test_all_rank_failures_aggregated():
+    """SpmdError reports every failed rank, not just the first."""
+
+    def job(comm):
+        if comm.rank in (1, 3):
+            raise ValueError(f"rank {comm.rank} died")
+        comm.barrier()
+
+    with pytest.raises(SpmdError) as exc:
+        run_spmd(4, job)
+    err = exc.value
+    assert err.failed_ranks == [1, 3]
+    # .rank/.cause stay the lowest-ranked failure for compatibility
+    assert err.rank == 1
+    assert isinstance(err.cause, ValueError)
+    assert all(isinstance(c, ValueError) for _, c in err.failures)
+    # the message names every failure
+    assert "rank 1" in str(err) and "rank 3" in str(err)
+
+
+def test_fault_injector_hook_fires_at_rank_start():
+    class Injector:
+        def __init__(self):
+            self.seen = []
+
+        def on_rank_start(self, rank):
+            self.seen.append(rank)
+            if rank == 2:
+                raise RuntimeError("injected start-time crash")
+
+    injector = Injector()
+    with pytest.raises(SpmdError) as exc:
+        run_spmd(4, lambda comm: comm.barrier(), fault_injector=injector)
+    assert exc.value.failed_ranks == [2]
+    assert sorted(injector.seen) == [0, 1, 2, 3]
+
+
 def test_failure_unblocks_peers_waiting_on_barrier():
     """Peers stuck in a barrier are aborted, not deadlocked."""
 

@@ -1,0 +1,120 @@
+"""CheckpointManager: atomicity, checksums, retention, corruption fallback."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.nn import Activation, Dense, Sequential
+from repro.resilience import CheckpointManager
+
+
+def _model(seed=0):
+    m = Sequential([Dense(8, activation="tanh"), Dense(2), Activation("softmax")])
+    m.build((6,), seed=seed)
+    m.compile("adam", "categorical_crossentropy", lr=0.01)
+    return m
+
+
+@pytest.fixture
+def data(rng):
+    x = rng.normal(size=(40, 6))
+    y = np.eye(2)[(x[:, 0] > 0).astype(int)]
+    return x, y
+
+
+def _trained(data, epochs, seed=1):
+    x, y = data
+    m = _model(seed=seed)
+    m.fit(x, y, epochs=epochs, shuffle=False)
+    return m
+
+
+def test_save_records_checksum_in_manifest(tmp_path, data):
+    manager = CheckpointManager(tmp_path)
+    m = _trained(data, 1)
+    info = manager.save(m, epoch=0)
+    assert os.path.exists(info.path)
+    with open(manager.manifest_path) as fh:
+        manifest = json.load(fh)
+    assert manifest[os.path.basename(info.path)] == info.sha256
+    assert manager.verify(info)
+
+
+def test_retention_prunes_oldest(tmp_path, data):
+    manager = CheckpointManager(tmp_path, keep_last=2)
+    m = _trained(data, 1)
+    for epoch in range(5):
+        manager.save(m, epoch=epoch)
+    kept = manager.checkpoints()
+    assert [c.epoch for c in kept] == [3, 4]
+    # manifest pruned in step with the files
+    with open(manager.manifest_path) as fh:
+        assert len(json.load(fh)) == 2
+
+
+def test_corruption_detected_and_never_loaded(tmp_path, data):
+    manager = CheckpointManager(tmp_path)
+    m = _trained(data, 2)
+    manager.save(m, epoch=0)
+    good_weights = [w.copy() for w in m.get_weights()]
+    x, y = data
+    m.fit(x, y, epochs=1, shuffle=False, initial_epoch=1)
+    bad = manager.save(m, epoch=1)
+    # corrupt the newest checkpoint's bytes
+    with open(bad.path, "r+b") as fh:
+        fh.seek(30)
+        fh.write(b"\xde\xad\xbe\xef")
+    assert not manager.verify(bad)
+    assert manager.latest_valid().epoch == 0
+
+    # restore falls back to the older, valid checkpoint
+    fresh = _model(seed=99)
+    meta = manager.restore_latest(fresh)
+    assert meta["epoch"] == 0
+    for a, b in zip(good_weights, fresh.get_weights()):
+        assert np.array_equal(a, b)
+
+
+def test_all_corrupted_restores_nothing(tmp_path, data):
+    manager = CheckpointManager(tmp_path)
+    m = _trained(data, 1)
+    info = manager.save(m, epoch=0)
+    with open(info.path, "wb") as fh:
+        fh.write(b"not a checkpoint at all")
+    fresh = _model(seed=5)
+    before = [w.copy() for w in fresh.get_weights()]
+    assert manager.restore_latest(fresh) is None
+    # a refused checkpoint never half-loads into the model
+    for a, b in zip(before, fresh.get_weights()):
+        assert np.array_equal(a, b)
+
+
+def test_unrecorded_checkpoint_still_restorable(tmp_path, data):
+    """A crash between file write and manifest write must not strand the file."""
+    manager = CheckpointManager(tmp_path)
+    m = _trained(data, 1)
+    manager.save(m, epoch=0)
+    os.unlink(manager.manifest_path)  # simulate the manifest write dying
+    (info,) = manager.checkpoints()
+    assert info.sha256 is None
+    assert not manager.verify(info)  # unverifiable...
+    fresh = _model(seed=7)
+    meta = manager.restore_latest(fresh)  # ...but the guarded load succeeds
+    assert meta["epoch"] == 0
+
+
+def test_extra_state_roundtrips(tmp_path, data):
+    manager = CheckpointManager(tmp_path)
+    m = _trained(data, 1)
+    manager.save(m, epoch=0, extra_state={"rank_rng": [{"shuffle": None}]})
+    meta = manager.restore_latest(_model(seed=3))
+    assert meta["extra"]["rank_rng"] == [{"shuffle": None}]
+
+
+def test_constructor_validation(tmp_path):
+    with pytest.raises(ValueError, match="keep_last"):
+        CheckpointManager(tmp_path, keep_last=0)
+    with pytest.raises(ValueError, match="prefix"):
+        CheckpointManager(tmp_path, prefix="../evil")

@@ -1,0 +1,159 @@
+"""MTBF process, Young/Daly optimum, and the resilient run simulator."""
+
+import math
+
+import pytest
+
+from repro.candle.nt3 import NT3_SPEC
+from repro.cluster.machine import SUMMIT
+from repro.core.scaling import strong_scaling_plan
+from repro.sim.engine import PhaseSimulator
+from repro.sim.faultmodel import (
+    FailureModel,
+    MtbfFailureProcess,
+    ResilientRunSimulator,
+    checkpoint_write_seconds,
+    daly_interval,
+    expected_makespan,
+    simulate_resilient_run,
+    young_daly_interval,
+)
+
+
+# -- failure process ---------------------------------------------------------
+def test_job_mtbf_scales_inversely_with_ranks():
+    proc = MtbfFailureProcess(mtbf_rank_s=3600.0, nranks=100)
+    assert proc.job_mtbf_s == pytest.approx(36.0)
+    assert proc.expected_failures(3600.0) == pytest.approx(100.0)
+
+
+def test_arrivals_are_seeded_and_monotone():
+    a = MtbfFailureProcess(1000.0, 10, seed=3)
+    b = MtbfFailureProcess(1000.0, 10, seed=3)
+    t = 0.0
+    for _ in range(20):
+        t_a = a.next_failure_after(t)
+        assert t_a == b.next_failure_after(t)
+        assert t_a > t
+        t = t_a
+    c = MtbfFailureProcess(1000.0, 10, seed=4)
+    assert c.next_failure_after(0.0) != MtbfFailureProcess(
+        1000.0, 10, seed=3
+    ).next_failure_after(0.0)
+
+
+def test_process_validation():
+    with pytest.raises(ValueError):
+        MtbfFailureProcess(0.0, 4)
+    with pytest.raises(ValueError):
+        MtbfFailureProcess(100.0, 0)
+    with pytest.raises(ValueError):
+        MtbfFailureProcess(100.0, 4).expected_failures(-1.0)
+
+
+# -- Young/Daly --------------------------------------------------------------
+def test_young_daly_formula():
+    assert young_daly_interval(30.0, 3600.0) == pytest.approx(
+        math.sqrt(2 * 30.0 * 3600.0)
+    )
+    with pytest.raises(ValueError):
+        young_daly_interval(0.0, 100.0)
+
+
+def test_daly_interval_minimizes_expected_makespan():
+    """The acceptance-criterion unit test: the closed-form optimum sits at
+    the numeric argmin of Daly's expected-makespan model."""
+    C, M, R, W = 30.0, 3600.0, 60.0, 7 * 24 * 3600.0
+    opt = daly_interval(C, M)
+    grid = [opt * (0.2 + 0.005 * i) for i in range(800)]
+    numeric = min(grid, key=lambda t: expected_makespan(W, t, C, M, R))
+    assert opt == pytest.approx(numeric, rel=0.02)
+    # and it beats both a much shorter and a much longer interval
+    at_opt = expected_makespan(W, opt, C, M, R)
+    assert at_opt < expected_makespan(W, opt / 4, C, M, R)
+    assert at_opt < expected_makespan(W, opt * 4, C, M, R)
+
+
+def test_makespan_exceeds_work_and_grows_with_failure_rate():
+    W = 3600.0
+    base = expected_makespan(W, 300.0, 10.0, 86400.0)
+    assert base > W
+    assert expected_makespan(W, 300.0, 10.0, 8640.0) > base
+
+
+def test_degenerate_daly_regime_falls_back_to_mtbf():
+    # C >= 2M: the expansion is invalid; policy degrades to tau = M
+    assert daly_interval(100.0, 40.0) == 40.0
+
+
+# -- checkpoint cost ---------------------------------------------------------
+def test_checkpoint_write_cost_scales_with_model_size():
+    import dataclasses
+
+    c = checkpoint_write_seconds(NT3_SPEC, SUMMIT)
+    assert c > SUMMIT.parse.per_file  # payload adds to metadata latency
+    bigger = dataclasses.replace(
+        NT3_SPEC, model_params_full=NT3_SPEC.model_params_full * 10
+    )
+    assert checkpoint_write_seconds(bigger, SUMMIT) > c
+
+
+# -- PhaseSimulator hook -----------------------------------------------------
+def test_phase_simulator_failure_hook():
+    sim = PhaseSimulator(4)
+    assert sim.next_failure() is None
+    assert sim.expected_failures() == 0.0
+    armed = PhaseSimulator(4, failure_process=MtbfFailureProcess(100.0, 4, seed=0))
+    t = armed.next_failure()
+    assert t is not None and t > 0
+    armed.lockstep(t + 1.0, "train", 100.0)
+    assert armed.next_failure() > t
+    assert armed.expected_failures() > 0
+
+
+# -- resilient run simulator -------------------------------------------------
+@pytest.fixture(scope="module")
+def plan():
+    return strong_scaling_plan(NT3_SPEC, nworkers=1536, total_epochs=6144)
+
+
+def test_no_failures_no_checkpoints_means_zero_overhead(plan):
+    fm = FailureModel(mtbf_rank_s=1e15)
+    rep = ResilientRunSimulator(SUMMIT, fm).run(
+        NT3_SPEC, plan, interval_s=1e12, seed=0
+    )
+    assert rep.n_failures == 0 and rep.n_checkpoints == 0
+    assert rep.time_overhead_s == pytest.approx(0.0, abs=1e-6)
+    assert rep.energy_overhead_pct == pytest.approx(0.0, abs=1e-6)
+
+
+def test_resilient_run_is_seed_deterministic(plan):
+    fm = FailureModel(mtbf_rank_s=7 * 24 * 3600.0, restart_s=60.0)
+    a = ResilientRunSimulator(SUMMIT, fm).run(NT3_SPEC, plan, seed=5)
+    b = ResilientRunSimulator(SUMMIT, fm).run(NT3_SPEC, plan, seed=5)
+    assert a.total_s == b.total_s
+    assert a.n_failures == b.n_failures
+    assert a.energy_per_worker_j == b.energy_per_worker_j
+
+
+def test_failures_cost_time_and_energy(plan):
+    fm = FailureModel(mtbf_rank_s=24 * 3600.0, restart_s=60.0)
+    rep = simulate_resilient_run(NT3_SPEC, SUMMIT, plan, fm, seed=1)
+    assert rep.n_failures >= 1
+    assert rep.total_s > rep.base_total_s
+    assert rep.energy_per_worker_j > rep.base_energy_per_worker_j
+    assert rep.lost_work_s > 0
+    assert rep.interval_s == pytest.approx(
+        young_daly_interval(rep.checkpoint_s, rep.job_mtbf_s)
+    )
+    row = rep.as_row()
+    assert row["failures"] == rep.n_failures
+
+
+def test_failure_model_validation():
+    with pytest.raises(ValueError):
+        FailureModel(mtbf_rank_s=0.0)
+    with pytest.raises(ValueError):
+        FailureModel(mtbf_rank_s=100.0, restart_s=-1.0)
+    with pytest.raises(ValueError):
+        FailureModel(mtbf_rank_s=100.0).job_mtbf_s(0)

@@ -1,0 +1,63 @@
+"""Supervisor retry policy and failed-trial diagnostics."""
+
+from repro.resilience import RetryPolicy
+from repro.supervisor import Supervisor
+
+
+def test_error_carries_full_traceback():
+    def runner(cfg, seed):
+        raise MemoryError("OOM")
+
+    db = Supervisor(runner).run_configs([{"x": 1}])
+    (failed,) = db.failed()
+    # summary line first, then the traceback with the raising frame
+    assert failed.error.startswith("MemoryError: OOM")
+    assert "Traceback" in failed.error
+    assert "runner" in failed.error
+
+
+def test_transient_failure_retried_to_success():
+    calls = []
+
+    def flaky(cfg, seed):
+        calls.append(seed)
+        if len(calls) < 3:
+            raise RuntimeError("transient node failure")
+        return {"loss": 1.0}
+
+    delays = []
+    sup = Supervisor(flaky, max_retries=3, sleep=delays.append)
+    db = sup.run_configs([{"x": 1}])
+    (record,) = db.records
+    assert record.status == "completed"
+    assert record.attempts == 3
+    assert len(calls) == 3
+    # capped exponential backoff between attempts
+    policy = RetryPolicy(max_retries=3)
+    assert delays == [policy.delay_s(0), policy.delay_s(1)]
+
+
+def test_deterministic_failure_exhausts_budget():
+    def doomed(cfg, seed):
+        raise ValueError("diverged")
+
+    sup = Supervisor(
+        doomed, retry=RetryPolicy(max_retries=2, base_delay_s=0.0), sleep=lambda s: None
+    )
+    db = sup.run_configs([{"x": 1}])
+    (record,) = db.records
+    assert record.status == "failed"
+    assert record.attempts == 3
+    assert "diverged" in record.error
+
+
+def test_no_retries_by_default():
+    calls = []
+
+    def failing(cfg, seed):
+        calls.append(1)
+        raise RuntimeError("nope")
+
+    db = Supervisor(failing).run_configs([{"x": 1}])
+    assert len(calls) == 1
+    assert db.failed()[0].attempts == 1
