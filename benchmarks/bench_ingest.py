@@ -1,0 +1,130 @@
+"""Microbenchmark: the ingest engines on a generated NT3-geometry file.
+
+Measures the real parsers behind ``DataSource`` — serial chunked (the
+paper's fix), span-parallel decode, and the binary column-store cache —
+on a wide-row file shaped like NT3 train data, and checks the frames
+are bit-identical across every mode.
+
+Run standalone::
+
+    python benchmarks/bench_ingest.py --smoke   # small file, CI-sized
+    python benchmarks/bench_ingest.py --full    # >= 100 MB, asserts
+                                                # parallel >= 2x chunked,
+                                                # cached hit >= 10x any parse
+
+The ``--full`` speedup assertions need real cores; ``--smoke`` only
+checks correctness and prints the timing table. Under pytest the smoke
+path runs as a test; the full path is opt-in (needs >1 CPU and the
+``INGEST_BENCH_FULL=1`` environment variable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import format_table
+from repro.candle import get_benchmark
+from repro.ingest import DataSource, LoaderConfig
+
+#: generated-file geometry: NT3's wide rows at two sizes
+SMOKE_SHAPE = dict(scale=0.02, sample_scale=0.1)   # ~0.5 MB
+FULL_SHAPE = dict(scale=1.0, sample_scale=0.25)    # >= 100 MB
+
+
+def generate_nt3_file(dirpath, shape: dict) -> str:
+    bench = get_benchmark("nt3", **shape)
+    train, _ = bench.write_files(dirpath, rng=np.random.default_rng(0))
+    return str(train)
+
+
+def run_modes(path: str, cache_dir: str) -> list[dict]:
+    """Load ``path`` with every benched mode; returns timing/identity rows."""
+    modes = [
+        ("chunked (serial)", LoaderConfig(method="chunked")),
+        ("parallel", LoaderConfig(method="parallel")),
+        ("cached (miss)", LoaderConfig(method="cached", cache_dir=cache_dir)),
+        ("cached (hit)", LoaderConfig(method="cached", cache_dir=cache_dir)),
+    ]
+    source = DataSource(path)
+    rows, ref = [], None
+    for label, config in modes:
+        result = source.load(config)
+        if ref is None:
+            ref = result.frame
+        rows.append(
+            {
+                "mode": label,
+                "seconds": round(result.seconds, 3),
+                "rows": result.rows,
+                "identical": result.frame.equals(ref),
+            }
+        )
+    return rows
+
+
+def assert_full_criteria(rows: list[dict]) -> None:
+    """The acceptance thresholds for the >= 100 MB file."""
+    t = {r["mode"]: r["seconds"] for r in rows}
+    assert all(r["identical"] for r in rows), rows
+    parallel_speedup = t["chunked (serial)"] / t["parallel"]
+    assert parallel_speedup >= 2.0, (
+        f"parallel only {parallel_speedup:.2f}x over serial chunked"
+    )
+    fastest_text = min(t["chunked (serial)"], t["parallel"], t["cached (miss)"])
+    cached_speedup = fastest_text / t["cached (hit)"]
+    assert cached_speedup >= 10.0, (
+        f"cached reload only {cached_speedup:.2f}x over the fastest text parse"
+    )
+
+
+def run_bench(full: bool = False) -> list[dict]:
+    shape = FULL_SHAPE if full else SMOKE_SHAPE
+    with tempfile.TemporaryDirectory() as tmp:
+        path = generate_nt3_file(tmp, shape)
+        size_mb = os.path.getsize(path) / 1e6
+        rows = run_modes(path, cache_dir=os.path.join(tmp, "cache"))
+    title = f"ingest modes on {size_mb:.1f} MB NT3-geometry file"
+    print(format_table(rows, title=title))
+    assert all(r["identical"] for r in rows), rows
+    if full:
+        assert size_mb >= 100, f"full mode produced only {size_mb:.1f} MB"
+        assert_full_criteria(rows)
+    return rows
+
+
+# -- pytest entry points ----------------------------------------------------
+
+def test_smoke_modes_bit_identical(capsys):
+    with capsys.disabled():
+        print()
+        run_bench(full=False)
+
+
+@pytest.mark.skipif(
+    os.environ.get("INGEST_BENCH_FULL") != "1" or (os.cpu_count() or 1) < 2,
+    reason="full ingest bench needs INGEST_BENCH_FULL=1 and >1 CPU",
+)
+def test_full_speedup_criteria(capsys):
+    with capsys.disabled():
+        print()
+        run_bench(full=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--smoke", action="store_true", help="small file, no speedup asserts")
+    group.add_argument("--full", action="store_true", help=">= 100 MB file + asserts")
+    args = parser.parse_args(argv)
+    run_bench(full=args.full)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,7 @@ import numpy as np
 import pytest
 
 from repro.candle import get_benchmark
-from repro.core.dataloading import load_csv_timed
+from repro.ingest import DataSource, LoaderConfig
 
 
 @pytest.fixture(scope="module")
@@ -22,24 +22,28 @@ def wide_csv(tmp_path_factory):
     return train
 
 
+def _load(path, method):
+    return DataSource(path).load(LoaderConfig(method=method))
+
+
 def test_original_engine(benchmark, wide_csv):
-    df, _ = benchmark.pedantic(
-        load_csv_timed, args=(wide_csv, "original"), rounds=3, iterations=1
+    result = benchmark.pedantic(
+        _load, args=(wide_csv, "original"), rounds=3, iterations=1
     )
-    assert df.shape[0] > 0
+    assert result.rows > 0
 
 
 def test_chunked_engine(benchmark, wide_csv):
-    df, _ = benchmark.pedantic(
-        load_csv_timed, args=(wide_csv, "chunked"), rounds=3, iterations=1
+    result = benchmark.pedantic(
+        _load, args=(wide_csv, "chunked"), rounds=3, iterations=1
     )
-    assert df.shape[0] > 0
+    assert result.rows > 0
 
 
 def test_wide_row_speedup_is_real(benchmark, wide_csv):
     def compare():
-        _, t_orig = load_csv_timed(wide_csv, method="original")
-        _, t_fast = load_csv_timed(wide_csv, method="chunked")
+        t_orig = _load(wide_csv, "original").seconds
+        t_fast = _load(wide_csv, "chunked").seconds
         return t_orig / t_fast
 
     speedup = benchmark.pedantic(compare, rounds=1, iterations=1)

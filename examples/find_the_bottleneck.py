@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.analysis import PhaseProfiler, bar_chart, profile_callable
 from repro.candle import get_benchmark
-from repro.core import load_csv_timed
+from repro.ingest import DataSource, LoaderConfig
 
 
 def main() -> None:
@@ -27,9 +27,10 @@ def main() -> None:
         train, test = bench.write_files(tmp, rng=np.random.default_rng(0))
 
         # ---- step 1: measure the phases with the ORIGINAL loader --------
+        source = DataSource(train)
         profiler = PhaseProfiler()
         with profiler.phase("data_loading"):
-            frame, _ = load_csv_timed(train, method="original")
+            frame = source.load(LoaderConfig(method="original")).frame
         with profiler.phase("training"):
             data = bench.from_frames(frame, frame)
             model = bench.build_model(seed=1)
@@ -44,15 +45,15 @@ def main() -> None:
 
         # ---- step 2: cProfile points at the parser -----------------------
         _, report = profile_callable(
-            lambda: load_csv_timed(train, method="original"), top=6
+            lambda: source.load(LoaderConfig(method="original")), top=6
         )
         print("cProfile (top cumulative) — the parser is the hot spot:")
         print("\n".join(report.splitlines()[:14]))
         print()
 
         # ---- step 3: apply the paper's fix and compare --------------------
-        _, t_orig = load_csv_timed(train, method="original")
-        _, t_opt = load_csv_timed(train, method="chunked")
+        t_orig = source.load(LoaderConfig(method="original")).seconds
+        t_opt = source.load(LoaderConfig(method="chunked")).seconds
         print(bar_chart(
             ["original (low_memory=True)", "optimized (chunked)"],
             [t_orig, t_opt],

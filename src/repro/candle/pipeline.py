@@ -59,7 +59,7 @@ def _loss_and_metrics(benchmark: CandleBenchmark):
 def run_benchmark(
     benchmark: CandleBenchmark,
     data_paths: Optional[tuple] = None,
-    load_method: str = "original",
+    load_method="original",
     scaler: Optional[str] = "maxabs",
     epochs: Optional[int] = None,
     batch_size: Optional[int] = None,
@@ -70,11 +70,12 @@ def run_benchmark(
     """Execute the benchmark's three phases serially.
 
     With ``data_paths=(train_csv, test_csv)`` the loading phase really
-    parses files via ``load_method``; without, synthetic arrays are
-    generated in memory (loading cost ≈ 0). Hyperparameters default to
-    the benchmark's Table 1 values.
+    parses files via ``load_method`` — an ingest registry name or a
+    full :class:`repro.ingest.LoaderConfig`; without, synthetic arrays
+    are generated in memory (loading cost ≈ 0). Hyperparameters default
+    to the benchmark's Table 1 values.
     """
-    from repro.core.dataloading import load_benchmark_data
+    from repro.ingest import load_benchmark_data
 
     # ---- phase 1: data loading and preprocessing -------------------------
     t0 = time.perf_counter()

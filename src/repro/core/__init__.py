@@ -22,7 +22,8 @@ from repro.core.batch_scaling import (
     memory_limited_batch,
     scale_batch_size,
 )
-from repro.core.dataloading import LOAD_METHODS, load_benchmark_data, load_csv_timed
+from repro.core.dataloading import LOAD_METHODS, load_csv_timed
+from repro.ingest import load_benchmark_data
 from repro.core.epochs import comp_epochs, comp_epochs_balanced, epochs_schedule
 from repro.core.lr_scaling import scale_learning_rate
 from repro.core.parallel import ParallelRunResult, run_parallel_benchmark

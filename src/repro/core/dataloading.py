@@ -1,81 +1,63 @@
-"""Data-loading methods: original, optimized (chunked), and Dask-like.
+"""DEPRECATED loading entry points — thin shims over :mod:`repro.ingest`.
 
-§5 of the paper. The original CANDLE loader::
+§5's three methods used to live here behind a string dispatch
+(``LOAD_METHODS`` + :func:`load_csv_timed`). That grew into three
+parallel entry points (this module, ``read_csv_partitioned``, direct
+``read_csv`` calls in the pipeline); the unified replacement is::
 
-    import pandas as pd
-    df = pd.read_csv('nt_train2.csv', header=None)
+    from repro.ingest import DataSource, LoaderConfig
+    result = DataSource(path).load(LoaderConfig(method="chunked"))
+    frame, seconds = result.frame, result.seconds
 
-and the optimized replacement::
-
-    csize = 2000000
-    chunks = []
-    for chunk in pd.read_csv('nt_train2.csv', header=None,
-                             chunksize=csize, low_memory=False):
-        chunks.append(chunk)
-    df = pd.concat(chunks, axis=0, ignore_index=True)
-
-Both are reproduced verbatim against :mod:`repro.frame`. The chunk size
-default follows the paper (2,000,000 rows — effectively "one big chunk"
-for the wide files, and 16 MB-aligned I/O for the narrow one).
+Every callable here now delegates there after a ``DeprecationWarning``.
+Internal code must not import from this module (CI runs the ingest
+suite with ``-W error::DeprecationWarning`` to enforce it); the shims
+exist only so external users of the old API keep working.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Tuple
+import warnings
+from typing import Tuple, Union
 
 from repro import frame as fr
 from repro.candle.base import CandleBenchmark, LoadedData
+from repro.ingest import DataSource, LoaderConfig, PAPER_CHUNK_SIZE
+from repro.ingest import load_benchmark_data as _ingest_load_benchmark_data
 
 __all__ = ["LOAD_METHODS", "load_csv_timed", "load_benchmark_data", "PAPER_CHUNK_SIZE"]
 
-#: the paper's csize
-PAPER_CHUNK_SIZE = 2_000_000
-
+#: the paper's original three-way comparison (the ingest registry has
+#: more: parallel, cached, sharded — see repro.ingest.INGEST_METHODS)
 LOAD_METHODS = ("original", "chunked", "dask")
 
 
-def _load_original(path) -> fr.DataFrame:
-    """pandas.read_csv defaults: header=None implied by caller, low_memory=True."""
-    return fr.read_csv(path, header=None, low_memory=True)
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} (repro.ingest) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
-def _load_chunked(path, chunksize: int = PAPER_CHUNK_SIZE) -> fr.DataFrame:
-    """The paper's fix: chunked iteration with low_memory=False + concat."""
-    chunks = []
-    for chunk in fr.read_csv(path, header=None, chunksize=chunksize, low_memory=False):
-        chunks.append(chunk)
-    return fr.concat(chunks, axis=0, ignore_index=True)
-
-
-def _load_dask(path) -> fr.DataFrame:
-    """The Dask DataFrame comparator (§5: in between the other two)."""
-    return fr.read_csv_partitioned(path)
-
-
-def load_csv_timed(path, method: str = "original", chunksize: int = PAPER_CHUNK_SIZE) -> Tuple[fr.DataFrame, float]:
-    """Load one CSV with the named method; returns (frame, seconds)."""
-    t0 = time.perf_counter()
-    if method == "original":
-        df = _load_original(path)
-    elif method == "chunked":
-        df = _load_chunked(path, chunksize=chunksize)
-    elif method == "dask":
-        df = _load_dask(path)
-    else:
+def load_csv_timed(
+    path, method: str = "original", chunksize: int = PAPER_CHUNK_SIZE
+) -> Tuple[fr.DataFrame, float]:
+    """Deprecated: use ``DataSource(path).load(LoaderConfig(...))``."""
+    _deprecated("load_csv_timed", "DataSource.load")
+    if method not in DataSource.methods():
+        # preserve the historic error message shape
         raise ValueError(f"unknown method {method!r}; known: {LOAD_METHODS}")
-    return df, time.perf_counter() - t0
+    result = DataSource(path).load(LoaderConfig(method=method, chunksize=chunksize))
+    return result.frame, result.seconds
 
 
 def load_benchmark_data(
     benchmark: CandleBenchmark,
     train_path,
     test_path,
-    method: str = "original",
+    method: Union[str, LoaderConfig] = "original",
 ) -> LoadedData:
-    """Phase 1 of Figure 2: load + preprocess both files for a benchmark."""
-    train_frame, t_train = load_csv_timed(train_path, method=method)
-    test_frame, t_test = load_csv_timed(test_path, method=method)
-    data = benchmark.from_frames(train_frame, test_frame)
-    data.load_seconds = t_train + t_test
-    return data
+    """Deprecated: use :func:`repro.ingest.load_benchmark_data`."""
+    _deprecated("repro.core.dataloading.load_benchmark_data", "repro.ingest.load_benchmark_data")
+    return _ingest_load_benchmark_data(benchmark, train_path, test_path, method=method)

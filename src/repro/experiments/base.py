@@ -89,6 +89,7 @@ _REGISTRY: Dict[str, str] = {
     "ps_baseline": "repro.experiments.ps_baseline",
     "noise_scale": "repro.experiments.noise_scale_exp",
     "checkpoint_interval": "repro.experiments.checkpoint_interval",
+    "ingest": "repro.experiments.ingest_sweep",
 }
 
 

@@ -29,7 +29,15 @@ def improvement_experiment(
     paper_perf_min: Optional[float] = None,
     paper_energy_min: Optional[float] = None,
     notes: str = "",
+    ingest_methods: Optional[Sequence[str]] = None,
 ) -> ExperimentResult:
+    """Build one original-vs-optimized comparison experiment.
+
+    ``ingest_methods`` optionally adds a second panel sweeping the full
+    ingest registry (parallel, cached, sharded, ...) through the same
+    simulator, so the paper's two-way comparison extends to the modes
+    :mod:`repro.ingest` adds.
+    """
     comparisons = common.comparison_sweep(spec, machine, counts, mode=mode)
     rows = [c.as_row() for c in comparisons]
     perf = [c.performance_improvement_pct for c in comparisons]
@@ -48,11 +56,41 @@ def improvement_experiment(
     if paper_energy_min is not None:
         claims["min energy saving %"] = paper_energy_min
         measured["min energy saving %"] = min(energy)
+    panels = {"": rows}
+    if ingest_methods:
+        panels["ingest methods"] = ingest_method_rows(
+            spec, machine, counts, ingest_methods, mode=mode
+        )
     return ExperimentResult(
         experiment_id=experiment_id,
         title=title,
-        panels={"": rows},
+        panels=panels,
         paper_claims=claims,
         measured=measured,
         notes=notes,
     )
+
+
+def ingest_method_rows(
+    spec: BenchmarkSpec,
+    machine: str,
+    counts: Sequence[int],
+    methods: Sequence[str],
+    mode: str = "strong",
+) -> list[dict]:
+    """Per-worker-count load/total seconds for each ingest method."""
+    rows = []
+    for n in counts:
+        runs = {
+            m: common.sim_sweep(spec, machine, [n], mode=mode, method=m)[0]
+            for m in methods
+        }
+        base = runs[methods[0]]
+        row: dict = {"gpus": n}
+        for m, rep in runs.items():
+            row[f"{m}_load_s"] = round(rep.load_s, 2)
+            row[f"{m}_total_s"] = round(rep.total_s, 2)
+        row["best_method"] = min(methods, key=lambda m: runs[m].total_s)
+        row["best_speedup"] = round(base.total_s / runs[row["best_method"]].total_s, 2)
+        rows.append(row)
+    return rows

@@ -10,14 +10,13 @@ from __future__ import annotations
 
 import os
 import tempfile
-import time
 
 import numpy as np
 
 from repro.candle.registry import all_benchmarks
 from repro.cluster.machine import SUMMIT, MachineSpec
-from repro.core.dataloading import load_csv_timed
 from repro.experiments.base import ExperimentResult
+from repro.ingest import DataSource, LoaderConfig
 from repro.sim.iomodel import IoModel, benchmark_files
 
 PAPER_TABLE3 = {
@@ -54,9 +53,10 @@ def functional_rows(scale_wide: float = 0.004, seed: int = 0) -> list[dict]:
         for bench in all_benchmarks():
             b = type(bench)(scale=scale_wide, sample_scale=min(1.0, scale_wide * 25))
             train_path, _ = b.write_files(tmp, rng=rng)
-            _, t_orig = load_csv_timed(train_path, method="original")
-            _, t_chunk = load_csv_timed(train_path, method="chunked")
-            _, t_dask = load_csv_timed(train_path, method="dask")
+            source = DataSource(train_path)
+            t_orig = source.load(LoaderConfig(method="original")).seconds
+            t_chunk = source.load(LoaderConfig(method="chunked")).seconds
+            t_dask = source.load(LoaderConfig(method="dask")).seconds
             rows.append(
                 {
                     "benchmark": b.spec.name,

@@ -25,6 +25,7 @@ Both paths produce identical frames; the test suite asserts so.
 from __future__ import annotations
 
 import io
+import threading
 import warnings
 from typing import Iterator, Optional, Sequence
 
@@ -87,9 +88,71 @@ class ParseStats:
         """Approximate peak token-buffer footprint (PyObject overhead)."""
         return self.peak_chunk_tokens * bytes_per_token
 
+    def snapshot(self) -> "ParseStats":
+        """Detached copy (safe to hand across threads/processes)."""
+        out = ParseStats()
+        out.peak_chunk_tokens = self.peak_chunk_tokens
+        out.chunks_parsed = self.chunks_parsed
+        return out
 
-#: stats of the most recent read_csv call (reset per call)
-LAST_PARSE_STATS = ParseStats()
+    def merge(self, other: "ParseStats") -> None:
+        """Fold another engine's counters in (parallel span workers)."""
+        self.chunks_parsed += other.chunks_parsed
+        if other.peak_chunk_tokens > self.peak_chunk_tokens:
+            self.peak_chunk_tokens = other.peak_chunk_tokens
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "peak_chunk_tokens": self.peak_chunk_tokens,
+            "chunks_parsed": self.chunks_parsed,
+        }
+
+    def __repr__(self):
+        return (
+            f"<ParseStats chunks={self.chunks_parsed} "
+            f"peak_tokens={self.peak_chunk_tokens}>"
+        )
+
+
+class _ThreadLocalParseStats(threading.local):
+    """Per-thread :class:`ParseStats` behind the legacy module global.
+
+    ``LAST_PARSE_STATS`` used to be one shared mutable object, which the
+    parallel span workers in :mod:`repro.ingest.parallel` (and the
+    thread pool in :mod:`repro.frame.dask_like`) would corrupt — peaks
+    and chunk counts from concurrent parses interleaving arbitrarily.
+    Each thread now accumulates into its own counters; callers that need
+    a cross-worker aggregate merge per-worker snapshots explicitly
+    (see ``DataFrame.parse_stats`` / :class:`repro.ingest.LoadResult`).
+    """
+
+    def __init__(self):
+        self._stats = ParseStats()
+
+    @property
+    def peak_chunk_tokens(self) -> int:
+        return self._stats.peak_chunk_tokens
+
+    @property
+    def chunks_parsed(self) -> int:
+        return self._stats.chunks_parsed
+
+    def reset(self) -> None:
+        self._stats.reset()
+
+    def record_chunk(self, ntokens: int) -> None:
+        self._stats.record_chunk(ntokens)
+
+    def peak_transient_bytes(self, bytes_per_token: int = 56) -> int:
+        return self._stats.peak_transient_bytes(bytes_per_token)
+
+    def snapshot(self) -> ParseStats:
+        return self._stats.snapshot()
+
+
+#: stats of the calling thread's most recent read_csv call (reset per
+#: call; one independent instance per thread)
+LAST_PARSE_STATS = _ThreadLocalParseStats()
 
 
 # ---------------------------------------------------------------------------
@@ -405,6 +468,7 @@ class CSVChunkIterator:
             raise StopIteration
         if len(frame) < self._chunksize:
             self._done = True
+        frame.parse_stats = LAST_PARSE_STATS.snapshot()
         return frame
 
     def close(self) -> None:
@@ -503,4 +567,5 @@ def read_csv(
         frame = frame[list(usecols)]
     if dtype is not None:
         frame = frame.astype(dtype)
+    frame.parse_stats = LAST_PARSE_STATS.snapshot()
     return frame

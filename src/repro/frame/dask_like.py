@@ -12,6 +12,7 @@ final multi-partition concat, so it lands between the two pandas paths.
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional, Sequence
 
@@ -111,7 +112,17 @@ def read_csv_partitioned(
     names: Optional[Sequence] = None,
     engine: str = "mixed",
 ) -> DataFrame:
-    """Convenience wrapper: Dask-like ``dd.read_csv(...).compute()``."""
+    """Deprecated convenience wrapper: Dask-like ``dd.read_csv(...).compute()``.
+
+    Use ``DataSource(path).load(LoaderConfig(method="dask"))`` from
+    :mod:`repro.ingest` (or :class:`PartitionedCSVReader` directly).
+    """
+    warnings.warn(
+        "read_csv_partitioned is deprecated; use repro.ingest.DataSource "
+        "with LoaderConfig(method='dask') or PartitionedCSVReader directly",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return PartitionedCSVReader(
         path, blocksize=blocksize, num_workers=num_workers, names=names, engine=engine
     ).read()

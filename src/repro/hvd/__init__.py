@@ -30,6 +30,7 @@ from repro.hvd.callbacks import (
     MetricAverageCallback,
     resume_from_checkpoint,
 )
+from repro.hvd.data import load_sharded
 from repro.hvd.fusion import DEFAULT_FUSION_BYTES, FusionBuffer
 from repro.hvd.optimizer import DistributedOptimizer
 from repro.hvd.ops import allgather, allreduce, broadcast, broadcast_weights
@@ -63,6 +64,7 @@ __all__ = [
     "FaultInjectionCallback",
     "MetricAverageCallback",
     "resume_from_checkpoint",
+    "load_sharded",
     "FusionBuffer",
     "DEFAULT_FUSION_BYTES",
     "Timeline",

@@ -1,0 +1,208 @@
+"""The unified loading API: ``DataSource(path).load(LoaderConfig(...))``.
+
+This replaces the three ad-hoc entry points that grew around the
+paper's fix — the ``LOAD_METHODS`` string dispatch in
+``repro.core.dataloading``, the ``read_csv_partitioned`` convenience
+wrapper, and direct ``read_csv`` calls in the pipeline — with one
+front door and an extensible method registry:
+
+========== ==========================================================
+method     engine
+========== ==========================================================
+original   ``read_csv(low_memory=True)`` — the CANDLE default (§5)
+chunked    the paper's fix: chunked iteration, ``low_memory=False``
+dask       the Dask-DataFrame comparator (partitioned thread pool)
+parallel   span-parallel process-pool decode (:mod:`repro.ingest.parallel`)
+cached     binary column-store cache (:mod:`repro.ingest.cache`)
+sharded    per-rank row shards + optional allgather (:mod:`repro.ingest.shard`)
+========== ==========================================================
+
+New methods register with :func:`register_method`; every loader
+receives ``(path, config, comm)`` and returns a DataFrame (optionally
+a ``(frame, cache_hit)`` pair). :meth:`DataSource.load` wraps the
+result with wall time and parse statistics in a :class:`LoadResult`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.frame.csv import ParseStats, read_csv
+from repro.frame.dask_like import PartitionedCSVReader
+from repro.frame.dataframe import DataFrame, concat
+from repro.ingest.cache import ColumnStoreCache
+from repro.ingest.config import LoaderConfig, ShardSpec
+from repro.ingest.parallel import read_csv_parallel
+from repro.ingest.shard import load_sharded
+
+__all__ = [
+    "DataSource",
+    "LoadResult",
+    "register_method",
+    "ingest_methods",
+    "INGEST_METHODS",
+]
+
+_REGISTRY: dict[str, Callable] = {}
+
+
+def register_method(name: str):
+    """Decorator: add a loader ``fn(path, config, comm) -> frame`` to the
+    registry under ``name`` (overwrites an existing entry)."""
+
+    def deco(fn: Callable) -> Callable:
+        _REGISTRY[name] = fn
+        return fn
+
+    return deco
+
+
+def ingest_methods() -> tuple[str, ...]:
+    """Registered method names, registration order."""
+    return tuple(_REGISTRY)
+
+
+@dataclass
+class LoadResult:
+    """One load: the frame plus how it was produced and what it cost."""
+
+    frame: DataFrame
+    seconds: float
+    method: str
+    path: str
+    cache_hit: Optional[bool] = None
+    stats: Optional[ParseStats] = None
+    shard: Optional[ShardSpec] = None
+
+    @property
+    def rows(self) -> int:
+        return len(self.frame)
+
+    def as_row(self) -> dict:
+        """Flat dict for report tables."""
+        out = {
+            "path": self.path,
+            "method": self.method,
+            "rows": self.rows,
+            "seconds": round(self.seconds, 4),
+        }
+        if self.cache_hit is not None:
+            out["cache_hit"] = self.cache_hit
+        return out
+
+
+class DataSource:
+    """One loadable CSV file (the API every consumer goes through).
+
+    ``DataSource(path).load(LoaderConfig(method='parallel'))`` — or just
+    ``.load()`` for the paper's chunked fix. SPMD callers pass their
+    :class:`repro.mpi.Communicator` so ``sharded`` loads can derive rank
+    identity and run the shard-exchange allgather.
+    """
+
+    def __init__(self, path):
+        self.path = str(path)
+
+    @staticmethod
+    def methods() -> tuple[str, ...]:
+        return ingest_methods()
+
+    def load(
+        self, config: Optional[LoaderConfig] = None, comm=None
+    ) -> LoadResult:
+        config = config if config is not None else LoaderConfig()
+        try:
+            loader = _REGISTRY[config.method]
+        except KeyError:
+            raise ValueError(
+                f"unknown method {config.method!r}; known: {list(_REGISTRY)}"
+            ) from None
+        t0 = time.perf_counter()
+        out = loader(self.path, config, comm)
+        seconds = time.perf_counter() - t0
+        frame, cache_hit = out if isinstance(out, tuple) else (out, None)
+        return LoadResult(
+            frame=frame,
+            seconds=seconds,
+            method=config.method,
+            path=self.path,
+            cache_hit=cache_hit,
+            stats=getattr(frame, "parse_stats", None),
+            shard=config.shard,
+        )
+
+    def __repr__(self):
+        return f"<DataSource {self.path!r}>"
+
+
+# ---------------------------------------------------------------------------
+# built-in methods
+# ---------------------------------------------------------------------------
+
+@register_method("original")
+def _load_original(path, config: LoaderConfig, comm=None) -> DataFrame:
+    """The CANDLE default: one read_csv call, ``low_memory=True``."""
+    low_memory = True if config.low_memory is None else config.low_memory
+    return read_csv(path, header=None, low_memory=low_memory)
+
+
+@register_method("chunked")
+def _load_chunked(path, config: LoaderConfig, comm=None) -> DataFrame:
+    """The paper's fix: chunked iteration with low_memory=False + concat."""
+    chunks = []
+    for chunk in read_csv(
+        path,
+        header=None,
+        chunksize=config.chunksize,
+        low_memory=False if config.low_memory is None else config.low_memory,
+    ):
+        chunks.append(chunk)
+    frame = concat(chunks, axis=0, ignore_index=True)
+    frame.parse_stats = getattr(chunks[-1], "parse_stats", None)
+    return frame
+
+
+@register_method("dask")
+def _load_dask(path, config: LoaderConfig, comm=None) -> DataFrame:
+    """The Dask DataFrame comparator (§5: in between the other two)."""
+    return PartitionedCSVReader(
+        path,
+        blocksize=min(config.block_bytes, 8 << 20),
+        num_workers=config.effective_workers,
+    ).read()
+
+
+@register_method("parallel")
+def _load_parallel(path, config: LoaderConfig, comm=None) -> DataFrame:
+    """Span-parallel decode across a worker pool."""
+    return read_csv_parallel(
+        path,
+        num_workers=config.effective_workers,
+        block_bytes=config.block_bytes,
+        low_memory=config.effective_low_memory,
+    )
+
+
+@register_method("cached")
+def _load_cached(path, config: LoaderConfig, comm=None):
+    """Column-store cache wrapper; parses (in parallel) only on miss."""
+    cache = ColumnStoreCache.for_source(path, config.cache_dir)
+    if config.refresh_cache:
+        cache.evict(path)
+    frame = cache.lookup(path)
+    if frame is not None:
+        return frame, True
+    fresh = _load_parallel(path, config, comm)
+    cache.store(path, fresh)
+    return fresh, False
+
+
+@register_method("sharded")
+def _load_sharded(path, config: LoaderConfig, comm=None) -> DataFrame:
+    """Per-rank row shard, optionally allgathered to the full frame."""
+    return load_sharded(path, config, comm=comm)
+
+#: built-in method names (kept in sync with the registrations above)
+INGEST_METHODS = ingest_methods()

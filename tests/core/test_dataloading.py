@@ -1,10 +1,18 @@
-"""The three data-loading methods over real benchmark files."""
+"""The three data-loading methods over real benchmark files.
+
+This module exercises the *deprecated* ``repro.core.dataloading`` shim
+layer on purpose — its behavior is contract for external callers. The
+replacement ``repro.ingest.DataSource`` API is covered in
+``tests/ingest`` (with ``DeprecationWarning`` escalated to an error).
+"""
 
 import numpy as np
 import pytest
 
 from repro.candle import get_benchmark
 from repro.core import LOAD_METHODS, load_benchmark_data, load_csv_timed
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 
 @pytest.fixture(scope="module")

@@ -5,12 +5,7 @@ import os
 import numpy as np
 import pytest
 
-from repro.frame import (
-    PartitionedCSVReader,
-    read_csv,
-    read_csv_partitioned,
-    write_csv,
-)
+from repro.frame import PartitionedCSVReader, read_csv, write_csv
 from repro.frame.writer import format_matrix
 
 
@@ -52,7 +47,7 @@ class TestPartitionedReader:
         m = rng.random((200, 8))
         path = tmp_path / "p.csv"
         write_csv(path, m)
-        df = read_csv_partitioned(str(path), blocksize=2048, engine=engine)
+        df = PartitionedCSVReader(str(path), blocksize=2048, engine=engine).read()
         ref = read_csv(str(path), header=None, low_memory=False)
         assert df.shape == ref.shape
         assert np.allclose(df.to_numpy(np.float64), ref.to_numpy(np.float64))
@@ -62,20 +57,20 @@ class TestPartitionedReader:
         path = tmp_path / "p.csv"
         write_csv(path, m)
         # tiny blocks force many partitions; row count must be exact
-        df = read_csv_partitioned(str(path), blocksize=512, num_workers=3)
+        df = PartitionedCSVReader(str(path), blocksize=512, num_workers=3).read()
         assert len(df) == 500
 
     def test_single_worker_path(self, tmp_path, rng):
         path = tmp_path / "p.csv"
         write_csv(path, rng.random((50, 2)))
-        df = read_csv_partitioned(str(path), num_workers=1)
+        df = PartitionedCSVReader(str(path), num_workers=1).read()
         assert len(df) == 50
 
     def test_empty_file_rejected(self, tmp_path):
         path = tmp_path / "e.csv"
         path.write_text("")
         with pytest.raises(ValueError, match="empty"):
-            read_csv_partitioned(str(path))
+            PartitionedCSVReader(str(path)).read()
 
     def test_invalid_params(self, tmp_path):
         with pytest.raises(ValueError):
