@@ -1,0 +1,256 @@
+"""Microbenchmark: the zero-copy training step on an NT3-shaped model.
+
+Measures ``train_on_batch`` on the NT3 conv stack under three
+configurations:
+
+- **seed path** — float64, per-layer parameter arrays, per-parameter
+  optimizer updates and pack/unpack gradient fusion (the repo's
+  original training step);
+- **arena f64** — parameters/gradients in a flat
+  :class:`~repro.nn.ParameterArena`, fused optimizer kernels
+  (bit-identical to the seed path, the equivalence this bench asserts);
+- **arena f32** — the same arena step at float32, halving memory
+  traffic per step (the optimized configuration).
+
+Also isolates the parameter-update phase and compares its allocation
+high-water mark (tracemalloc peak): the fused slab kernels update every
+parameter through preallocated scratch, where the per-parameter path
+allocates fresh temporaries per parameter per step.
+
+Run standalone::
+
+    python benchmarks/bench_trainstep.py --smoke   # CI-sized, identity only
+    python benchmarks/bench_trainstep.py --full    # asserts arena f32 >= 2x
+                                                   # seed path, update-phase
+                                                   # allocations >= 5x lower,
+                                                   # and bitwise identity
+    python benchmarks/bench_trainstep.py --smoke --json BENCH_trainstep.json
+
+Under pytest the smoke path always runs; the full path is opt-in via
+``TRAINSTEP_BENCH_FULL=1``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro import hvd
+from repro.analysis.report import format_table
+from repro.candle import get_benchmark
+from repro.mpi import run_spmd
+from repro.nn.optimizers import SGD
+
+#: NT3 geometry at two sizes (features = 60483 * scale)
+SMOKE_SHAPE = dict(scale=0.01, sample_scale=0.05)   # 604 features
+FULL_SHAPE = dict(scale=0.05, sample_scale=0.05)    # 3024 features
+
+BATCH = 20  # NT3's Table-1 batch size
+
+CONFIGS = [
+    ("seed (f64, per-param)", dict(arena=False, dtype=None)),
+    ("arena f64 (fused)", dict(arena=True, dtype=None)),
+    ("arena f32 (fused)", dict(arena=True, dtype="float32")),
+]
+
+
+def _data(features: int, dtype=np.float64, n: int = BATCH, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, features, 1)).astype(dtype)
+    y = np.eye(2, dtype=dtype)[rng.integers(0, 2, size=n)]
+    return x, y
+
+
+def _compiled(bench, arena, dtype, seed=1):
+    model = bench.build_model(seed=seed, arena=arena, dtype=dtype)
+    model.compile("sgd", "categorical_crossentropy", lr=0.001)
+    return model
+
+
+def time_train_step(bench, steps: int) -> dict[str, float]:
+    """Mean seconds per ``train_on_batch`` for each configuration."""
+    out = {}
+    for label, kw in CONFIGS:
+        model = _compiled(bench, **kw)
+        x, y = _data(bench.features, dtype=model.dtype)
+        for _ in range(2):
+            model.train_on_batch(x, y)  # warm caches and scratch buffers
+        t0 = time.perf_counter()
+        for _ in range(steps):
+            model.train_on_batch(x, y)
+        out[label] = (time.perf_counter() - t0) / steps
+    return out
+
+
+def update_alloc_peak(bench, arena: bool, repeats: int = 5) -> int:
+    """Allocation high-water (bytes) of one parameter-update phase.
+
+    The forward/backward work is done outside the traced window so the
+    measurement isolates exactly what the fused kernels replace:
+    ``apply_gradients`` temporaries vs in-place slab updates.
+    """
+    model = _compiled(bench, arena=arena, dtype=None)
+    x, y = _data(bench.features)
+    for _ in range(3):
+        model.train_on_batch(x, y)  # steady state: scratch + optimizer state
+    y_pred = model._forward(x, training=True)
+    model._backward(y, y_pred)
+    params, grads = model.named_parameters(), model.named_gradients()
+    tracemalloc.start()
+    peaks = []
+    for _ in range(repeats):
+        tracemalloc.reset_peak()
+        base = tracemalloc.get_traced_memory()[0]
+        if arena:
+            model.optimizer.apply_arena(model.arena)
+        else:
+            model.optimizer.apply_gradients(params, grads)
+        peaks.append(tracemalloc.get_traced_memory()[1] - base)
+    tracemalloc.stop()
+    return min(peaks)  # steadiest step: no warmup or GC noise
+
+
+def check_single_process_identity(bench, steps: int) -> bool:
+    """Arena-fused training == per-parameter training, bitwise, at f64."""
+    ref = _compiled(bench, arena=False, dtype=None)
+    fused = _compiled(bench, arena=True, dtype=None)
+    x, y = _data(bench.features)
+    for _ in range(steps):
+        ref.train_on_batch(x, y)
+        fused.train_on_batch(x, y)
+    return all(
+        np.array_equal(a, b)
+        for a, b in zip(ref.get_weights(), fused.get_weights())
+    )
+
+
+def check_distributed_identity(bench, epochs: int = 2) -> bool:
+    """Zero-copy slab allreduce == pack/unpack allreduce, bitwise (2 ranks)."""
+    x, y = _data(bench.features, n=4 * BATCH)
+
+    def run(arena):
+        def worker(comm):
+            hvd.init(comm)
+            try:
+                model = bench.build_model(seed=1 + comm.rank, arena=arena)
+                opt = hvd.DistributedOptimizer(SGD(lr=0.001, momentum=0.9))
+                model.compile(opt, "categorical_crossentropy")
+                shard = slice(comm.rank * 2 * BATCH, (comm.rank + 1) * 2 * BATCH)
+                model.fit(
+                    x[shard], y[shard], batch_size=BATCH, epochs=epochs,
+                    shuffle=False,
+                    callbacks=[hvd.BroadcastGlobalVariablesCallback(0)],
+                )
+                return model.get_weights()
+            finally:
+                hvd.shutdown()
+
+        return run_spmd(2, worker)
+
+    arena_w = run(True)
+    packed_w = run(False)
+    ranks_agree = all(
+        np.array_equal(a, b) for a, b in zip(arena_w[0], arena_w[1])
+    )
+    paths_agree = all(
+        np.array_equal(a, p) for a, p in zip(arena_w[0], packed_w[0])
+    )
+    return ranks_agree and paths_agree
+
+
+def run_bench(full: bool = False, json_path: str | None = None) -> dict:
+    shape = FULL_SHAPE if full else SMOKE_SHAPE
+    steps = 10 if full else 3
+    bench = get_benchmark("nt3", **shape)
+
+    timings = time_train_step(bench, steps)
+    alloc_ref = update_alloc_peak(bench, arena=False)
+    alloc_fused = update_alloc_peak(bench, arena=True)
+    ident_single = check_single_process_identity(bench, steps=max(5, steps))
+    ident_dist = check_distributed_identity(bench)
+
+    seed_s = timings["seed (f64, per-param)"]
+    rows = [
+        {
+            "config": label,
+            "ms_per_step": round(t * 1e3, 2),
+            "speedup_vs_seed": round(seed_s / t, 2),
+        }
+        for label, t in timings.items()
+    ]
+    print(format_table(rows, title=f"NT3 train step, {bench.features} features, batch {BATCH}"))
+    alloc_ratio = alloc_ref / max(alloc_fused, 1)
+    print(
+        f"update-phase allocation peak: per-param {alloc_ref} B, "
+        f"fused {alloc_fused} B ({alloc_ratio:.0f}x lower)"
+    )
+    print(f"bit-identical (arena vs reference): single={ident_single} spmd={ident_dist}")
+
+    result = {
+        "features": bench.features,
+        "batch": BATCH,
+        "steps_timed": steps,
+        "ms_per_step": {label: t * 1e3 for label, t in timings.items()},
+        "speedup_arena_f32": seed_s / timings["arena f32 (fused)"],
+        "update_alloc_peak_bytes": {"per_param": alloc_ref, "fused": alloc_fused},
+        "update_alloc_ratio": alloc_ratio,
+        "bit_identical_single": ident_single,
+        "bit_identical_spmd": ident_dist,
+        "mode": "full" if full else "smoke",
+    }
+    if json_path:
+        with open(json_path, "w") as fh:
+            json.dump(result, fh, indent=2)
+        print(f"wrote {json_path}")
+
+    assert ident_single, "arena training diverged bitwise from the reference path"
+    assert ident_dist, "slab allreduce diverged bitwise from the packed path"
+    if full:
+        speedup = result["speedup_arena_f32"]
+        assert speedup >= 2.0, (
+            f"arena f32 step only {speedup:.2f}x over the seed path (need >= 2x)"
+        )
+        assert alloc_ratio >= 5.0, (
+            f"update-phase allocations only {alloc_ratio:.1f}x lower (need >= 5x)"
+        )
+    return result
+
+
+# -- pytest entry points ----------------------------------------------------
+
+def test_smoke_trainstep_identity(capsys):
+    with capsys.disabled():
+        print()
+        run_bench(full=False)
+
+
+@pytest.mark.skipif(
+    os.environ.get("TRAINSTEP_BENCH_FULL") != "1",
+    reason="full train-step bench needs TRAINSTEP_BENCH_FULL=1",
+)
+def test_full_trainstep_criteria(capsys):
+    with capsys.disabled():
+        print()
+        run_bench(full=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--smoke", action="store_true", help="CI-sized, identity checks only")
+    group.add_argument("--full", action="store_true", help="NT3 at 3024 features + speed/alloc asserts")
+    parser.add_argument("--json", metavar="PATH", help="write results as JSON")
+    args = parser.parse_args(argv)
+    run_bench(full=args.full, json_path=args.json)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

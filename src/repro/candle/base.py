@@ -148,8 +148,13 @@ class CandleBenchmark:
         """Generate learnable synthetic (x, y) arrays at this scale."""
         raise NotImplementedError
 
-    def build_model(self, seed: int = 0) -> Sequential:
-        """Build (but not compile) the benchmark's model at this scale."""
+    def build_model(self, seed: int = 0, arena: bool = True, dtype=None) -> Sequential:
+        """Build (but not compile) the benchmark's model at this scale.
+
+        ``arena``/``dtype`` forward to :meth:`repro.nn.Sequential.build`:
+        arena storage (fused optimizer + zero-copy allreduce) is the
+        default; ``dtype="float32"`` halves memory traffic per step.
+        """
         raise NotImplementedError
 
     def _target_matrix(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:

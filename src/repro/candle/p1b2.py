@@ -53,7 +53,7 @@ class P1B2Benchmark(CandleBenchmark):
             x[:n_tr], one_hot(y[:n_tr], k), x[n_tr:], one_hot(y[n_tr:], k)
         )
 
-    def build_model(self, seed: int = 0) -> Sequential:
+    def build_model(self, seed: int = 0, arena: bool = True, dtype=None) -> Sequential:
         f = self.features
         h1 = max(32, f // 32)
         reg = regularizers.l2(1e-5)
@@ -68,7 +68,7 @@ class P1B2Benchmark(CandleBenchmark):
             ],
             name="p1b2",
         )
-        model.build((f,), seed=seed)
+        model.build((f,), seed=seed, arena=arena, dtype=dtype)
         return model
 
     def _target_matrix(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:

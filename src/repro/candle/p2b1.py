@@ -81,7 +81,7 @@ class P2B1Benchmark(CandleBenchmark):
         x_tr, x_te = x[:n_tr], x[n_tr:]
         return LoadedData(x_tr, x_tr, x_te, x_te)
 
-    def build_model(self, seed: int = 0) -> Sequential:
+    def build_model(self, seed: int = 0, arena: bool = True, dtype=None) -> Sequential:
         f = self.features
         model = Sequential(
             [
@@ -93,7 +93,7 @@ class P2B1Benchmark(CandleBenchmark):
             ],
             name="p2b1",
         )
-        model.build((f,), seed=seed)
+        model.build((f,), seed=seed, arena=arena, dtype=dtype)
         return model
 
     def _target_matrix(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:

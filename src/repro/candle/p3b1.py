@@ -82,7 +82,7 @@ class P3B1Benchmark(CandleBenchmark):
             x[:n_tr], one_hot(y[:n_tr], k), x[n_tr:], one_hot(y[n_tr:], k)
         )
 
-    def build_model(self, seed: int = 0) -> Sequential:
+    def build_model(self, seed: int = 0, arena: bool = True, dtype=None) -> Sequential:
         f = self.features
         h1 = max(64, f * 2)
         model = Sequential(
@@ -95,7 +95,7 @@ class P3B1Benchmark(CandleBenchmark):
             ],
             name="p3b1",
         )
-        model.build((f,), seed=seed)
+        model.build((f,), seed=seed, arena=arena, dtype=dtype)
         return model
 
     def _target_matrix(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:

@@ -121,6 +121,7 @@ def run_parallel_benchmark(
     skew_scale_s: float = 0.0,
     local_size: int = 6,
     validation: bool = False,
+    arena: bool = True,
 ) -> ParallelRunResult:
     """Run one benchmark under one scaling plan, functionally.
 
@@ -134,6 +135,12 @@ def run_parallel_benchmark(
     ``skew_scale_s`` inject per-rank artificial load-time dispersion
     (rank sleeps ``(factor-1) * skew_scale_s``), which the
     negotiate_broadcast timeline events then expose.
+
+    ``arena=True`` (default) keeps each rank's parameters in a flat
+    :class:`~repro.nn.arena.ParameterArena`, so gradient allreduces are
+    zero-copy slab slices and optimizer updates are fused; ``False``
+    falls back to the per-parameter pack/unpack reference path (the two
+    produce bit-identical weights).
     """
     if data is None and data_paths is None:
         data = benchmark.synth_arrays(np.random.default_rng(seed))
@@ -166,6 +173,8 @@ def run_parallel_benchmark(
             # ---- phase 2: training & cross-validation --------------------
             t1 = time.perf_counter()
             model = benchmark.build_model(seed=seed + 1000 * (comm.rank + 1))
+            if not arena:
+                model.detach_arena()
             base_opt = get_optimizer(benchmark.spec.optimizer, lr=plan.learning_rate)
             model.compile(
                 hvd.DistributedOptimizer(base_opt), loss_name, metrics=metric_names

@@ -23,12 +23,20 @@ DEFAULT_FUSION_BYTES = 64 << 20
 
 
 class FusionBuffer:
-    """Packs name-keyed float tensors into ≤ ``capacity_bytes`` buffers."""
+    """Packs name-keyed float tensors into ≤ ``capacity_bytes`` buffers.
+
+    Horovod allocates its fusion buffer *once* and reuses it every step;
+    so does this class: :meth:`pack` copies into a preallocated buffer
+    (one per dtype, grown on demand) and returns a trimmed view of it.
+    The view is only valid until the next ``pack`` of the same dtype —
+    callers that need to keep it must copy.
+    """
 
     def __init__(self, capacity_bytes: int = DEFAULT_FUSION_BYTES):
         if capacity_bytes <= 0:
             raise ValueError(f"capacity must be positive, got {capacity_bytes}")
         self.capacity_bytes = int(capacity_bytes)
+        self._buffers: Dict[np.dtype, np.ndarray] = {}
 
     def plan(self, tensors: Dict[str, np.ndarray]) -> List[List[str]]:
         """Greedy first-fit packing of tensor names into fusion groups.
@@ -53,12 +61,28 @@ class FusionBuffer:
             groups.append(current)
         return groups
 
-    @staticmethod
-    def pack(tensors: Dict[str, np.ndarray], group: Sequence[str]) -> np.ndarray:
-        """Flatten the group's tensors into one contiguous float64 buffer."""
-        return np.concatenate(
-            [np.asarray(tensors[name], dtype=np.float64).reshape(-1) for name in group]
-        )
+    def pack(self, tensors: Dict[str, np.ndarray], group: Sequence[str]) -> np.ndarray:
+        """Flatten the group's tensors into one contiguous buffer (a view
+        of a reusable backing array — copy before the next ``pack`` if it
+        must outlive it).
+
+        The buffer dtype follows the tensors (float32 gradients stay
+        float32); non-float inputs are promoted to float64.
+        """
+        arrays = [np.asarray(tensors[name]) for name in group]
+        dtype = np.result_type(*arrays)
+        if dtype.kind != "f":
+            dtype = np.dtype(np.float64)
+        total = sum(a.size for a in arrays)
+        buf = self._buffers.get(dtype)
+        if buf is None or buf.size < total:
+            buf = np.empty(total, dtype=dtype)
+            self._buffers[dtype] = buf
+        offset = 0
+        for a in arrays:
+            buf[offset : offset + a.size] = a.reshape(-1)
+            offset += a.size
+        return buf[:total]
 
     @staticmethod
     def unpack(

@@ -64,11 +64,32 @@ class DistributedOptimizer(Optimizer):
             return grads
         averaged: Dict[str, np.ndarray] = {}
         for group in self.fusion.plan(grads):
-            fused = FusionBuffer.pack(grads, group)
+            fused = self.fusion.pack(grads, group)
             reduced = _ops.allreduce(fused, op="mean", name="+".join(group))
             self.allreduce_count += 1
             averaged.update(FusionBuffer.unpack(reduced, grads, group))
         return averaged
+
+    def apply_arena(self, arena) -> None:
+        """Zero-copy Horovod step for arena-built models.
+
+        Gradients already live in one contiguous slab laid out in fusion
+        order, so there is nothing to pack: each fusion group is a slab
+        *slice*, allreduced directly, with the mean copied back in place
+        before the base optimizer's fused update.
+        """
+        self.reduce_arena(arena)
+        self.base.apply_arena(arena)
+
+    def reduce_arena(self, arena) -> None:
+        """Allreduce-average the gradient slab, slice by fusion group."""
+        if _rt.size() == 1:
+            return
+        for start, stop, names in arena.fusion_groups(self.fusion.capacity_bytes):
+            view = arena.grads_flat[start:stop]
+            reduced = _ops.allreduce(view, op="mean", name="+".join(names))
+            self.allreduce_count += 1
+            np.copyto(view, reduced)
 
     def __repr__(self):
         return f"DistributedOptimizer({self.base!r})"

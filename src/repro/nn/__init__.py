@@ -17,6 +17,7 @@ Public API mirrors Keras naming:
 """
 
 from repro.nn import activations, initializers, losses, metrics, regularizers
+from repro.nn.arena import ParameterArena
 from repro.nn.callbacks import (
     Callback,
     CallbackList,
@@ -65,6 +66,7 @@ __all__ = [
     "Layer",
     "LocallyConnected1D",
     "MaxPooling1D",
+    "ParameterArena",
     "Sequential",
     "save_checkpoint",
     "load_checkpoint",

@@ -40,8 +40,8 @@ def _relu_grad(x: np.ndarray, y: np.ndarray) -> np.ndarray:
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
-    """Numerically stable logistic sigmoid."""
-    out = np.empty_like(x, dtype=np.float64)
+    """Numerically stable logistic sigmoid (dtype-preserving)."""
+    out = np.empty_like(x, dtype=np.result_type(x, np.float32))
     pos = x >= 0
     out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
     ex = np.exp(x[~pos])

@@ -35,6 +35,12 @@ class Layer:
         self.name = name or f"{type(self).__name__.lower()}_{next(_layer_counter)}"
         self.params: dict[str, np.ndarray] = {}
         self.grads: dict[str, np.ndarray] = {}
+        #: parameter storage dtype; Sequential.build overrides per-model
+        self.dtype: np.dtype = np.dtype(np.float64)
+        #: True once ParameterArena.adopt installed gradient views —
+        #: set_grad then writes through instead of rebinding the dict
+        self._arena_grads = False
+        self._scratch: dict[str, np.ndarray] = {}
         self.input_shape: Optional[Tuple[int, ...]] = None
         self.output_shape: Optional[Tuple[int, ...]] = None
         self.built = False
@@ -48,9 +54,36 @@ class Layer:
 
     def add_param(self, key: str, value: np.ndarray) -> np.ndarray:
         """Register a trainable parameter array under ``key``."""
-        arr = np.asarray(value, dtype=np.float64)
+        arr = np.asarray(value, dtype=self.dtype)
         self.params[key] = arr
         return arr
+
+    def set_grad(self, key: str, value: np.ndarray) -> None:
+        """Store a gradient, writing through to the arena view if installed."""
+        if self._arena_grads:
+            dst = self.grads.get(key)
+            if dst is not None and dst.shape == np.shape(value):
+                np.copyto(dst, value)
+                return
+        self.grads[key] = value
+
+    def scratch(self, key: str, shape, dtype, zero: bool = True) -> np.ndarray:
+        """A cached per-layer work buffer keyed by ``key``.
+
+        Reallocated (zero-filled) when the requested shape or dtype
+        changes — e.g. the short final batch of an epoch; otherwise the
+        cached buffer is reused, re-zeroed only when ``zero`` is True.
+        Callers that overwrite every element they read pass
+        ``zero=False`` and skip the memset.
+        """
+        shape = tuple(shape)
+        buf = self._scratch.get(key)
+        if buf is None or buf.shape != shape or buf.dtype != dtype:
+            buf = np.zeros(shape, dtype=dtype)
+            self._scratch[key] = buf
+        elif zero:
+            buf.fill(0.0)
+        return buf
 
     # -- execution ---------------------------------------------------------
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:

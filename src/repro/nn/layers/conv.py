@@ -105,7 +105,7 @@ class Conv1D(Layer):
         win = sliding_window_view(xp, self.kernel_size, axis=1)
         z = np.tensordot(win, self.params["kernel"], axes=([3, 2], [0, 1]))
         if self.use_bias:
-            z = z + self.params["bias"]
+            z += self.params["bias"]  # z is fresh from the tensordot
         if self._act_fn is None:
             self._cache = (win, None, None)
             return z
@@ -120,11 +120,18 @@ class Conv1D(Layer):
         k = self.kernel_size
         # dW[k, ci, co] = sum_{n, l} win[n, l, ci, k] * dy[n, l, co]
         dw = np.tensordot(win, dy, axes=([0, 1], [0, 1]))  # (ci, k, co)
-        self.grads["kernel"] = dw.transpose(1, 0, 2)
+        self.set_grad("kernel", dw.transpose(1, 0, 2))
         if self.use_bias:
-            self.grads["bias"] = dy.sum(axis=(0, 1))
+            self.set_grad("bias", dy.sum(axis=(0, 1)))
         # Full correlation of dy with the tap-reversed kernel gives dx.
-        dyp = np.pad(dy, ((0, 0), (k - 1, k - 1), (0, 0)))
+        if k > 1:
+            n, steps, co = dy.shape
+            # cached pad buffer: margins are zero-initialized once and
+            # never written, so reuse skips both the alloc and the memset
+            dyp = self.scratch("dyp", (n, steps + 2 * (k - 1), co), dy.dtype, zero=False)
+            dyp[:, k - 1 : k - 1 + steps, :] = dy
+        else:
+            dyp = dy
         win_dy = sliding_window_view(dyp, k, axis=1)  # (N, L_pad, co, k)
         w_flip = self.params["kernel"][::-1]  # reverse taps
         dxp = np.tensordot(win_dy, w_flip, axes=([3, 2], [0, 2]))
@@ -177,10 +184,13 @@ class MaxPooling1D(Layer):
         in_shape, idx = self._cache
         p = self.pool_size
         n, out_steps, c = dy.shape
-        dxw = np.zeros((n, out_steps, p, c))
+        # scatter target must be re-zeroed (argmax positions move per batch)
+        dxw = self.scratch("dxw", (n, out_steps, p, c), dy.dtype)
         ni, li, ci = np.ogrid[:n, :out_steps, :c]
         dxw[ni, li, idx, ci] = dy
-        dx = np.zeros(in_shape)
+        # the pooled region is fully overwritten; the dropped tail stays
+        # zero from allocation, so no re-zero is needed
+        dx = self.scratch("dx", in_shape, dy.dtype, zero=False)
         dx[:, : out_steps * p, :] = dxw.reshape(n, out_steps * p, c)
         return dx
 
@@ -249,7 +259,7 @@ class LocallyConnected1D(Layer):
         win_flat = win.transpose(0, 1, 3, 2).reshape(n, out_steps, k * c)
         z = np.einsum("nlf,lfo->nlo", win_flat, self.params["kernel"])
         if self.use_bias:
-            z = z + self.params["bias"]
+            z += self.params["bias"]  # z is fresh from the einsum
         if self._act_fn is None:
             self._cache = (x.shape, win_flat, None, None)
             return z
@@ -261,15 +271,20 @@ class LocallyConnected1D(Layer):
         in_shape, win_flat, z, y = self._cache
         if self._act_fn is not None:
             dy = dy * self._act_grad(z, y)
-        self.grads["kernel"] = np.einsum("nlf,nlo->lfo", win_flat, dy)
+        kdst = self.grads.get("kernel") if self._arena_grads else None
+        if kdst is not None and kdst.dtype == np.result_type(win_flat, dy):
+            np.einsum("nlf,nlo->lfo", win_flat, dy, out=kdst)
+        else:
+            self.set_grad("kernel", np.einsum("nlf,nlo->lfo", win_flat, dy))
         if self.use_bias:
-            self.grads["bias"] = dy.sum(axis=0)
+            self.set_grad("bias", dy.sum(axis=0))
         dwin = np.einsum("nlo,lfo->nlf", dy, self.params["kernel"])
         n, steps, c = in_shape
         k = self.kernel_size
         out_steps = dy.shape[1]
         dwin = dwin.reshape(n, out_steps, k, c)
-        dx = np.zeros(in_shape)
+        # overlap-add accumulates, so the buffer must start from zero
+        dx = self.scratch("dx", in_shape, dy.dtype)
         for tap in range(k):  # overlap-add of the k shifted slices
             dx[:, tap : tap + out_steps, :] += dwin[:, :, tap, :]
         return dx
@@ -311,9 +326,16 @@ class AveragePooling1D(Layer):
     def backward(self, dy):
         p = self.pool_size
         n, out_steps, c = dy.shape
-        dx = np.zeros(self._in_shape)
-        spread = np.repeat(dy / p, p, axis=1)
-        dx[:, : out_steps * p, :] = spread
+        # pooled region fully overwritten below; tail stays zero
+        dx = self.scratch("dx", self._in_shape, dy.dtype, zero=False)
+        pooled = dx[:, : out_steps * p, :]
+        try:
+            # in-place shape change: guaranteed view (raises rather than copy)
+            pooled.shape = (n, out_steps, p, c)
+        except AttributeError:
+            dx[:, : out_steps * p, :] = np.repeat(dy / p, p, axis=1)
+            return dx
+        pooled[...] = (dy / p)[:, :, None, :]
         return dx
 
 
@@ -341,7 +363,8 @@ class GlobalMaxPooling1D(Layer):
 
     def backward(self, dy):
         shape, idx = self._cache
-        dx = np.zeros(shape)
+        # scatter target: re-zero on reuse (argmax positions move)
+        dx = self.scratch("dx", shape, dy.dtype)
         n, _, c = shape
         ni, ci = np.ogrid[:n, :c]
         dx[ni, idx, ci] = dy

@@ -66,7 +66,7 @@ class Dense(Layer):
         self._require_built()
         z = x @ self.params["kernel"]
         if self.use_bias:
-            z = z + self.params["bias"]
+            z += self.params["bias"]  # z is fresh from the matmul
         if self._act_fn is None:
             self._cache = (x, None, None)
             return z
@@ -78,13 +78,38 @@ class Dense(Layer):
         x, z, y = self._cache
         if self._act_fn is not None:
             dy = dy * self._act_grad(z, y)
-        dk = x.T @ dy
-        if self.kernel_regularizer is not None:
-            dk += self.kernel_regularizer.grad(self.params["kernel"])
-        self.grads["kernel"] = dk
+        dst = self.grads.get("kernel") if self._arena_grads else None
+        if (
+            dst is not None
+            and self.kernel_regularizer is None
+            and dst.dtype == np.result_type(x, dy)
+        ):
+            np.matmul(x.T, dy, out=dst)  # straight into the arena slab
+        else:
+            dk = x.T @ dy
+            if self.kernel_regularizer is not None:
+                dk += self.kernel_regularizer.grad(self.params["kernel"])
+            self.set_grad("kernel", dk)
         if self.use_bias:
-            self.grads["bias"] = dy.sum(axis=0)
+            bdst = self.grads.get("bias") if self._arena_grads else None
+            if bdst is not None and bdst.dtype == dy.dtype:
+                np.sum(dy, axis=0, out=bdst)
+            else:
+                self.set_grad("bias", dy.sum(axis=0))
         return dy @ self.params["kernel"].T
+
+    def backward_from_logits(self, dz: np.ndarray) -> np.ndarray:
+        """Backward given a gradient w.r.t. the pre-activation logits.
+
+        Used by ``Sequential`` for the fused softmax+cross-entropy
+        gradient; skips the activation-derivative product.
+        """
+        saved = self._act_fn, self._act_grad
+        self._act_fn = self._act_grad = None
+        try:
+            return self.backward(dz)
+        finally:
+            self._act_fn, self._act_grad = saved
 
     def regularization_penalty(self):
         if self.kernel_regularizer is None or not self.built:
@@ -118,7 +143,9 @@ class Dropout(Layer):
             self._mask = None
             return x
         keep = 1.0 - self.rate
-        self._mask = (self._rng.random(x.shape) < keep) / keep
+        # draw in float64 (keeps the mask stream identical across model
+        # dtypes), then cast so a float32 model stays float32 end to end
+        self._mask = (self._rng.random(x.shape) < keep).astype(x.dtype) / keep
         return x * self._mask
 
     def backward(self, dy):

@@ -39,9 +39,10 @@ class BatchNormalization(Layer):
         features = input_shape[-1]
         self.add_param("gamma", np.ones(features))
         self.add_param("beta", np.zeros(features))
-        # running moments are state, not trainable parameters
-        self.running_mean = np.zeros(features)
-        self.running_var = np.ones(features)
+        # running moments are state, not trainable parameters; stored at
+        # the layer dtype so a float32 model stays float32 at inference
+        self.running_mean = np.zeros(features, dtype=self.dtype)
+        self.running_var = np.ones(features, dtype=self.dtype)
         self.input_shape = tuple(input_shape)
         self.output_shape = tuple(input_shape)
         self.built = True
@@ -68,8 +69,8 @@ class BatchNormalization(Layer):
     def backward(self, dy):
         x_hat, inv_std, training, shape = self._cache
         axes = self._axes(dy)
-        self.grads["gamma"] = (dy * x_hat).sum(axis=axes)
-        self.grads["beta"] = dy.sum(axis=axes)
+        self.set_grad("gamma", (dy * x_hat).sum(axis=axes))
+        self.set_grad("beta", dy.sum(axis=axes))
         g = self.params["gamma"]
         if not training:
             return dy * g * inv_std

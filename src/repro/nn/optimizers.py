@@ -14,6 +14,7 @@ optimizers survive weight broadcasts that replace the arrays.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict
 
 import numpy as np
@@ -27,7 +28,12 @@ class Optimizer:
     """Base optimizer.
 
     Subclasses implement :meth:`_update_one` which mutates a single
-    parameter array in place given its gradient.
+    parameter array in place given its gradient. Optimizers with a
+    fused-kernel path additionally override :meth:`_arena_step`, which
+    updates a :class:`repro.nn.arena.ParameterArena`'s whole parameter
+    slab with a handful of vectorized in-place operations — bit-identical
+    to looping :meth:`_update_one`, but without the per-parameter Python
+    and allocation overhead.
     """
 
     def __init__(self, lr: float = 0.01, decay: float = 0.0):
@@ -39,14 +45,23 @@ class Optimizer:
         self.decay = float(decay)
         self.iterations = 0
         self._state: dict[str, dict[str, np.ndarray]] = {}
+        # arena-path machinery: flat state slabs keyed by slot name, the
+        # per-parameter views mirrored into _state, and scratch buffers
+        self._arena_slabs: dict[str, np.ndarray] = {}
+        self._arena_mirrors: dict[str, dict[str, np.ndarray]] = {}
+        self._arena_scratch: dict[str, np.ndarray] = {}
+        self._warned_orphan_grads = False
 
     # -- public API ------------------------------------------------------
     def apply_gradients(self, params: Params, grads: Params) -> None:
         """Apply one update step to every parameter, in place.
 
         ``params`` and ``grads`` are name-keyed dicts with matching keys;
-        missing gradients (e.g. frozen layers) are skipped.
+        missing gradients (e.g. frozen layers) are skipped. A gradient
+        whose key matches *no* parameter is a sign of arena/dict drift —
+        it warns once and is ignored.
         """
+        self._check_orphan_grads(params, grads)
         self.iterations += 1
         lr_t = self._current_lr()
         for name, p in params.items():
@@ -59,6 +74,16 @@ class Optimizer:
                 )
             self._update_one(name, p, g, lr_t)
 
+    def apply_arena(self, arena) -> None:
+        """One fused update over an arena's parameter/gradient slabs.
+
+        Equivalent to ``apply_gradients`` over the arena's per-parameter
+        views (and bit-identical to it), but subclasses with a fused
+        kernel touch each slab once instead of looping parameters.
+        """
+        self.iterations += 1
+        self._arena_step(arena, self._current_lr())
+
     def scale_lr(self, factor: float) -> None:
         """Multiply the learning rate — the paper's linear LR scaling."""
         if factor <= 0.0:
@@ -68,6 +93,68 @@ class Optimizer:
     def state_slot(self, name: str) -> dict[str, np.ndarray]:
         """Per-parameter optimizer state (created on first use)."""
         return self._state.setdefault(name, {})
+
+    # -- arena plumbing ----------------------------------------------------
+    def _arena_step(self, arena, lr: float) -> None:
+        """Fallback fused step: per-parameter updates over arena views.
+
+        Subclasses override this with true slab-wide kernels; the
+        fallback keeps every custom :meth:`_update_one` optimizer
+        working against arena-built models.
+        """
+        for name, p, g in arena.items():
+            self._update_one(name, p, g, lr)
+
+    def _arena_state(self, arena, slot: str) -> np.ndarray:
+        """A flat state slab parallel to the arena's parameter slab.
+
+        Per-parameter views of the slab are mirrored into ``_state`` so
+        checkpointing sees fused-path state exactly like per-parameter
+        state. The mirror set is re-verified each call (cheap identity
+        checks): state loaded from a checkpoint is adopted into the
+        slab, and state cleared by a restore is re-zeroed.
+        """
+        slab = self._arena_slabs.get(slot)
+        if slab is None or slab.size != arena.size:
+            slab = arena.zeros_slab()
+            self._arena_slabs[slot] = slab
+            self._arena_mirrors[slot] = {
+                name: slab[sl].reshape(shape) for name, sl, shape in arena.entries()
+            }
+        mirrors = self._arena_mirrors[slot]
+        for name, view in mirrors.items():
+            slots = self._state.setdefault(name, {})
+            cur = slots.get(slot)
+            if cur is view:
+                continue
+            if cur is None:
+                view[...] = 0.0  # state was reset (e.g. fresh checkpoint)
+            else:
+                view[...] = cur  # adopt externally loaded state
+            slots[slot] = view
+        return slab
+
+    def _scratch(self, arena, key: str) -> np.ndarray:
+        """A reusable slab-sized work buffer (contents undefined)."""
+        buf = self._arena_scratch.get(key)
+        if buf is None or buf.size != arena.size or buf.dtype != arena.dtype:
+            buf = np.empty(arena.size, dtype=arena.dtype)
+            self._arena_scratch[key] = buf
+        return buf
+
+    def _check_orphan_grads(self, params: Params, grads: Params) -> None:
+        if self._warned_orphan_grads or len(grads) <= len(params):
+            return
+        orphans = [k for k in grads if k not in params]
+        if orphans:
+            self._warned_orphan_grads = True
+            warnings.warn(
+                f"gradients {sorted(orphans)!r} match no parameter and will "
+                "be ignored — parameter/gradient naming has drifted "
+                "(renamed layer, stale arena, or mismatched model)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     # -- subclass hooks ----------------------------------------------------
     def _current_lr(self) -> float:
@@ -113,6 +200,26 @@ class SGD(Optimizer):
         else:
             p += v
 
+    def _arena_step(self, arena, lr):
+        # same elementwise ops as _update_one, over the whole slab at once
+        p, g = arena.params_flat, arena.grads_flat
+        s = self._scratch(arena, "s")
+        if self.momentum == 0.0:
+            np.multiply(g, lr, out=s)
+            p -= s
+            return
+        v = self._arena_state(arena, "velocity")
+        np.multiply(v, self.momentum, out=v)
+        np.multiply(g, lr, out=s)  # lr * g, reused below for nesterov
+        v -= s
+        if self.nesterov:
+            s2 = self._scratch(arena, "s2")
+            np.multiply(v, self.momentum, out=s2)
+            s2 -= s
+            p += s2
+        else:
+            p += v
+
 
 class RMSprop(Optimizer):
     """RMSprop: scale each coordinate by a running RMS of its gradient."""
@@ -132,6 +239,21 @@ class RMSprop(Optimizer):
         np.multiply(acc, self.rho, out=acc)
         acc += (1.0 - self.rho) * g * g
         p -= lr * g / (np.sqrt(acc) + self.epsilon)
+
+    def _arena_step(self, arena, lr):
+        p, g = arena.params_flat, arena.grads_flat
+        acc = self._arena_state(arena, "accumulator")
+        a = self._scratch(arena, "a")
+        b = self._scratch(arena, "b")
+        np.multiply(acc, self.rho, out=acc)
+        np.multiply(g, 1.0 - self.rho, out=a)
+        a *= g
+        acc += a
+        np.multiply(g, lr, out=a)
+        np.sqrt(acc, out=b)
+        b += self.epsilon
+        a /= b
+        p -= a
 
 
 class Adam(Optimizer):
@@ -168,6 +290,28 @@ class Adam(Optimizer):
         m_hat = m / (1.0 - self.beta_1**t)
         v_hat = v / (1.0 - self.beta_2**t)
         p -= lr * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    def _arena_step(self, arena, lr):
+        p, g = arena.params_flat, arena.grads_flat
+        m = self._arena_state(arena, "m")
+        v = self._arena_state(arena, "v")
+        a = self._scratch(arena, "a")
+        b = self._scratch(arena, "b")
+        t = self.iterations
+        np.multiply(m, self.beta_1, out=m)
+        np.multiply(g, 1.0 - self.beta_1, out=a)
+        m += a
+        np.multiply(v, self.beta_2, out=v)
+        np.multiply(g, 1.0 - self.beta_2, out=a)
+        a *= g
+        v += a
+        np.divide(m, 1.0 - self.beta_1**t, out=a)  # m_hat
+        np.divide(v, 1.0 - self.beta_2**t, out=b)  # v_hat
+        np.sqrt(b, out=b)
+        b += self.epsilon
+        a *= lr
+        a /= b
+        p -= a
 
 
 _OPTIMIZERS = {"sgd": SGD, "rmsprop": RMSprop, "adam": Adam}

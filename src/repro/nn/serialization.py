@@ -206,11 +206,22 @@ def load_checkpoint(model, path, expected_sha256: Optional[str] = None) -> dict:
         np.copyto(param, saved)
 
     opt = _optimizer_of(model)
-    opt._state.clear()
+    # Restore state *in place* where the live slot array matches: fused
+    # arena optimizers keep their state as views into flat slabs, and a
+    # rebinding restore would silently sever that linkage.
+    old_state = opt._state
+    new_state: dict[str, dict[str, np.ndarray]] = {}
     for key, arr in arrays.items():
         if key.startswith("state::"):
             _, pname, slot = key.split("::", 2)
-            opt._state.setdefault(pname, {})[slot] = arr.copy()
+            cur = old_state.get(pname, {}).get(slot)
+            if cur is not None and cur.shape == arr.shape:
+                np.copyto(cur, arr)
+            else:
+                cur = arr.copy()
+            new_state.setdefault(pname, {})[slot] = cur
+    opt._state.clear()
+    opt._state.update(new_state)
     opt.lr = float(meta["lr"])
     opt.iterations = int(meta["iterations"])
     return meta

@@ -43,12 +43,29 @@ def test_oversized_tensor_gets_own_group(rng):
 def test_pack_unpack_roundtrip(tensors):
     fb = FusionBuffer()
     (group,) = fb.plan(tensors)
-    fused = FusionBuffer.pack(tensors, group)
+    fused = fb.pack(tensors, group)
     assert fused.ndim == 1
     out = FusionBuffer.unpack(fused, tensors, group)
     for name in group:
         assert out[name].shape == tensors[name].shape
         assert np.allclose(out[name], tensors[name])
+
+
+def test_pack_reuses_backing_buffer(tensors):
+    fb = FusionBuffer()
+    (group,) = fb.plan(tensors)
+    first = fb.pack(tensors, group)
+    second = fb.pack(tensors, group)
+    assert np.shares_memory(first, second)  # one allocation, reused per step
+
+
+def test_pack_preserves_float32(rng):
+    fb = FusionBuffer()
+    tensors = {"a": rng.normal(size=8).astype(np.float32), "b": rng.normal(size=3).astype(np.float32)}
+    fused = fb.pack(tensors, ["a", "b"])
+    assert fused.dtype == np.float32
+    # mixed / non-float inputs still promote to float64
+    assert fb.pack({"i": np.arange(4)}, ["i"]).dtype == np.float64
 
 
 def test_unpack_size_mismatch_raises(tensors):
@@ -91,6 +108,6 @@ def test_property_pack_unpack_identity(sizes):
     rng = np.random.default_rng(1)
     tensors = {f"t{i}": rng.normal(size=s) for i, s in enumerate(sizes)}
     group = sorted(tensors)
-    out = FusionBuffer.unpack(FusionBuffer.pack(tensors, group), tensors, group)
+    out = FusionBuffer.unpack(FusionBuffer().pack(tensors, group), tensors, group)
     for name in group:
         assert np.allclose(out[name], tensors[name])

@@ -1,0 +1,359 @@
+"""ParameterArena: slab layout, fused-optimizer bit-identity, round-trips.
+
+The contract under test is strict: the arena path (flat slabs + fused
+optimizer kernels + zero-copy allreduce) must produce *bitwise* the same
+weights as the per-parameter reference path, step for step.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import hvd
+from repro.mpi import run_spmd
+from repro.nn import (
+    Activation,
+    Conv1D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPooling1D,
+    ParameterArena,
+    Sequential,
+)
+from repro.nn.optimizers import SGD, Adam, Optimizer, RMSprop
+from repro.nn.serialization import (
+    capture_rng_state,
+    load_checkpoint,
+    restore_rng_state,
+    save_checkpoint,
+)
+
+
+def nt3_shaped(seed=0, arena=True, dtype=None):
+    """A miniature of NT3's conv→pool→dense stack (same layer types)."""
+    model = Sequential(
+        [
+            Conv1D(4, 3, activation="relu"),
+            MaxPooling1D(2),
+            Flatten(),
+            Dense(16, activation="relu"),
+            Dropout(0.1),
+            Dense(3),
+            Activation("softmax"),
+        ]
+    )
+    model.build((24, 1), seed=seed, arena=arena, dtype=dtype)
+    return model
+
+
+def class_data(rng, n=32, steps=24, classes=3):
+    x = rng.normal(size=(n, steps, 1))
+    y = np.eye(classes)[rng.integers(0, classes, size=n)]
+    return x, y
+
+
+# -- layout ----------------------------------------------------------------
+
+
+def test_param_and_grad_views_share_slabs():
+    model = nt3_shaped()
+    arena = model.arena
+    assert arena is not None
+    for name, arr in model.named_parameters().items():
+        assert np.shares_memory(arr, arena.params_flat), name
+    for layer in model.layers:
+        for key, g in layer.grads.items():
+            assert np.shares_memory(g, arena.grads_flat), f"{layer.name}/{key}"
+
+
+def test_layout_sorted_and_contiguous():
+    model = nt3_shaped()
+    arena = model.arena
+    assert arena.names == sorted(arena.names)
+    offset = 0
+    for name, sl, shape in arena.entries():
+        assert sl.start == offset
+        assert sl.stop - sl.start == int(np.prod(shape))
+        offset = sl.stop
+    assert offset == arena.size == model.count_params()
+
+
+def test_build_without_arena():
+    model = nt3_shaped(arena=False)
+    assert model.arena is None
+    for arr in model.named_parameters().values():
+        assert arr.base is None  # plain per-layer storage
+
+
+def test_arena_values_preserved_on_adoption():
+    with_arena = nt3_shaped(seed=7, arena=True)
+    without = nt3_shaped(seed=7, arena=False)
+    for a, b in zip(with_arena.get_weights(), without.get_weights()):
+        assert np.array_equal(a, b)
+
+
+def test_detach_arena_restores_plain_arrays(rng):
+    model = nt3_shaped(seed=3)
+    before = model.get_weights()
+    model.detach_arena()
+    assert model.arena is None
+    for arr in model.named_parameters().values():
+        assert arr.base is None
+    for a, b in zip(before, model.get_weights()):
+        assert np.array_equal(a, b)
+    # training still works on the reference path
+    model.compile("sgd", "categorical_crossentropy", lr=0.01)
+    x, y = class_data(rng)
+    model.train_on_batch(x, y)
+
+
+def test_rejects_non_float_dtype():
+    model = Sequential([Dense(2)])
+    with pytest.raises(ValueError, match="floating"):
+        model.build((3,), dtype=np.int64)
+
+
+def test_fusion_groups_match_fusion_buffer_plan():
+    from repro.hvd import FusionBuffer
+
+    model = nt3_shaped()
+    arena = model.arena
+    grads = {name: g for name, _, g in arena.items()}
+    capacity = 512  # force several groups at this model size
+    fb = FusionBuffer(capacity)
+    assert [names for _, _, names in arena.fusion_groups(capacity)] == fb.plan(grads)
+    # groups tile the slab exactly
+    groups = arena.fusion_groups(capacity)
+    assert groups[0][0] == 0
+    assert groups[-1][1] == arena.size
+    for (_, stop, _), (start, _, _) in zip(groups, groups[1:]):
+        assert stop == start
+
+
+# -- fused optimizer bit-identity -----------------------------------------
+
+
+OPTIMIZERS = [
+    lambda: SGD(lr=0.05),
+    lambda: SGD(lr=0.05, momentum=0.9),
+    lambda: SGD(lr=0.05, momentum=0.9, nesterov=True),
+    lambda: SGD(lr=0.05, momentum=0.9, decay=1e-3),
+    lambda: RMSprop(lr=0.01),
+    lambda: Adam(lr=0.01),
+]
+
+
+@pytest.mark.parametrize("make_opt", OPTIMIZERS, ids=lambda f: repr(f()))
+def test_fused_step_bit_identical_to_reference(make_opt, rng):
+    """≥100 steps: arena-fused updates == per-parameter updates, bitwise."""
+    ref = nt3_shaped(seed=11, arena=False)
+    fused = nt3_shaped(seed=11, arena=True)
+    ref.compile(make_opt(), "categorical_crossentropy")
+    fused.compile(make_opt(), "categorical_crossentropy")
+    x, y = class_data(rng, n=16)
+    for step in range(100):
+        ref.train_on_batch(x, y)
+        fused.train_on_batch(x, y)
+        if step % 25 == 0 or step == 99:
+            for name, (a, b) in _paired(ref, fused).items():
+                assert np.array_equal(a, b), f"{name} diverged at step {step}"
+    # optimizer state (velocity / moments) must agree bitwise too
+    for pname, slots in ref.optimizer._state.items():
+        for slot, arr in slots.items():
+            assert np.array_equal(arr, fused.optimizer._state[pname][slot]), (
+                f"state {pname}/{slot}"
+            )
+    assert ref.optimizer.iterations == fused.optimizer.iterations
+
+
+def _paired(a, b):
+    pa, pb = a.named_parameters(), b.named_parameters()
+    assert set(pa) == set(pb)
+    return {name: (pa[name], pb[name]) for name in pa}
+
+
+def test_fused_step_bit_identical_float32(rng):
+    ref = nt3_shaped(seed=5, arena=False, dtype="float32")
+    fused = nt3_shaped(seed=5, arena=True, dtype="float32")
+    ref.compile(SGD(lr=0.05, momentum=0.9), "categorical_crossentropy")
+    fused.compile(SGD(lr=0.05, momentum=0.9), "categorical_crossentropy")
+    x, y = class_data(rng, n=16)
+    x = x.astype(np.float32)
+    y = y.astype(np.float32)
+    for _ in range(50):
+        ref.train_on_batch(x, y)
+        fused.train_on_batch(x, y)
+    for name, (a, b) in _paired(ref, fused).items():
+        assert a.dtype == np.float32
+        assert np.array_equal(a, b), name
+
+
+def test_base_arena_step_fallback(rng):
+    """An optimizer without a fused kernel still works via the fallback."""
+
+    class Custom(Optimizer):
+        def _update_one(self, name, p, g, lr):
+            p -= lr * g
+
+    ref = nt3_shaped(seed=2, arena=False)
+    fused = nt3_shaped(seed=2, arena=True)
+    ref.compile(Custom(lr=0.05), "categorical_crossentropy")
+    fused.compile(Custom(lr=0.05), "categorical_crossentropy")
+    x, y = class_data(rng, n=8)
+    for _ in range(5):
+        ref.train_on_batch(x, y)
+        fused.train_on_batch(x, y)
+    for name, (a, b) in _paired(ref, fused).items():
+        assert np.array_equal(a, b), name
+
+
+# -- dict-API round-trips ---------------------------------------------------
+
+
+def test_set_weights_keeps_views_live(rng):
+    model = nt3_shaped(seed=1)
+    arena = model.arena
+    new = [rng.normal(size=w.shape) for w in model.get_weights()]
+    model.set_weights(new)
+    for (name, arr), src in zip(model.named_parameters().items(), new):
+        assert np.shares_memory(arr, arena.params_flat), name
+        assert np.array_equal(arr, src.astype(arr.dtype))
+
+
+def test_checkpoint_roundtrip_preserves_arena(tmp_path, rng):
+    model = nt3_shaped(seed=9)
+    model.compile(Adam(lr=0.01), "categorical_crossentropy")
+    x, y = class_data(rng)
+    for _ in range(3):
+        model.train_on_batch(x, y)
+    path = tmp_path / "ckpt"
+    save_checkpoint(model, path, epoch=0)
+    rng_snapshot = capture_rng_state(model)  # dropout/shuffle position
+
+    fresh = nt3_shaped(seed=4)
+    fresh.compile(Adam(lr=0.01), "categorical_crossentropy")
+    for _ in range(2):
+        fresh.train_on_batch(x, y)  # populate divergent state, then restore
+    load_checkpoint(fresh, str(path) + ".npz")
+    restore_rng_state(fresh, rng_snapshot)
+
+    for name, (a, b) in _paired(model, fresh).items():
+        assert np.array_equal(a, b), name
+    arena = fresh.arena
+    for arr in fresh.named_parameters().values():
+        assert np.shares_memory(arr, arena.params_flat)
+    # restored optimizer state must stay wired to the fused slabs: one
+    # more identical step on both models keeps them bitwise in lock-step
+    model.train_on_batch(x, y)
+    fresh.train_on_batch(x, y)
+    for name, (a, b) in _paired(model, fresh).items():
+        assert np.array_equal(a, b), f"{name} diverged after restore"
+
+
+def test_managed_checkpoint_resume_with_arena(tmp_path, rng):
+    from repro.hvd.callbacks import ManagedCheckpointCallback
+    from repro.resilience import CheckpointManager
+
+    x, y = class_data(rng, n=24)
+
+    def worker(comm):
+        hvd.init(comm)
+        try:
+            manager = CheckpointManager(tmp_path, keep_last=2)
+            model = nt3_shaped(seed=21)
+            model.compile(
+                hvd.DistributedOptimizer(SGD(lr=0.05, momentum=0.9)),
+                "categorical_crossentropy",
+            )
+            cb = ManagedCheckpointCallback(manager, every_n_epochs=1)
+            model.fit(x, y, batch_size=8, epochs=2, shuffle=False, callbacks=[cb])
+
+            resumed = nt3_shaped(seed=99)
+            resumed.compile(
+                hvd.DistributedOptimizer(SGD(lr=0.05, momentum=0.9)),
+                "categorical_crossentropy",
+            )
+            meta = manager.restore_latest(resumed)
+            assert meta is not None
+            # same step from the same state: must stay bit-identical
+            model.fit(x, y, batch_size=8, epochs=1, shuffle=False)
+            resumed.fit(x, y, batch_size=8, epochs=1, shuffle=False)
+            return [
+                np.array_equal(a, b)
+                for _, (a, b) in _paired(model, resumed).items()
+            ]
+        finally:
+            hvd.shutdown()
+
+    (flags,) = run_spmd(1, worker)
+    assert all(flags)
+
+
+# -- orphan-gradient warning ------------------------------------------------
+
+
+def test_orphan_gradient_warns_once():
+    opt = SGD(lr=0.1)
+    params = {"w": np.zeros(3)}
+    grads = {"w": np.ones(3), "ghost": np.ones(3)}
+    with pytest.warns(RuntimeWarning, match="ghost"):
+        opt.apply_gradients(params, grads)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # second call must stay silent
+        opt.apply_gradients(params, grads)
+
+
+# -- zero-copy distributed reduce -------------------------------------------
+
+
+def test_arena_reduce_bitwise_equals_packed_reduce(rng):
+    """SPMD ranks: slab-slice allreduce == pack/unpack allreduce, bitwise."""
+    x, y = class_data(rng, n=32)
+
+    def run(arena_path):
+        def worker(comm):
+            hvd.init(comm)
+            try:
+                model = nt3_shaped(seed=31 + comm.rank, arena=arena_path)
+                opt = hvd.DistributedOptimizer(
+                    SGD(lr=0.05, momentum=0.9), fusion_bytes=512
+                )
+                model.compile(opt, "categorical_crossentropy")
+                cbs = [hvd.BroadcastGlobalVariablesCallback(0)]
+                shard = slice(comm.rank * 16, (comm.rank + 1) * 16)
+                model.fit(
+                    x[shard], y[shard], batch_size=8, epochs=2,
+                    shuffle=False, callbacks=cbs,
+                )
+                return model.get_weights(), opt.allreduce_count
+            finally:
+                hvd.shutdown()
+
+        return run_spmd(2, worker)
+
+    arena_results = run(True)
+    packed_results = run(False)
+    # ranks agree with each other, and both paths agree bitwise
+    for (wa, _), (wp, _) in zip(arena_results, packed_results):
+        for a, p, a0 in zip(wa, wp, arena_results[0][0]):
+            assert np.array_equal(a, a0)
+            assert np.array_equal(a, p)
+    assert arena_results[0][1] > 0  # the slab path genuinely allreduced
+
+
+def test_parameter_arena_direct_api(rng):
+    named = {"b": rng.normal(size=(2, 3)), "a": rng.normal(size=4)}
+    arena = ParameterArena(named)
+    assert arena.names == ["a", "b"]
+    assert arena.size == 10
+    assert arena.nbytes == arena.params_flat.nbytes
+    arena.grads["a"][:] = 1.0
+    assert arena.grads_flat[:4].sum() == 4.0
+    arena.zero_grads()
+    assert not arena.grads_flat.any()
+    with pytest.raises(ValueError):
+        ParameterArena({})
+    with pytest.raises(ValueError):
+        arena.fusion_groups(0)
