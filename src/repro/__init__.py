@@ -26,6 +26,10 @@ al., ICPP 2019) depends on:
 - :mod:`repro.resilience` — the paper's §7 future work, built out:
   seeded fault injection, checksummed checkpoint/restart, and elastic
   recovery with retries and world-shrinking.
+- :mod:`repro.telemetry` — the unified observability layer: one tracer
+  of nestable spans and counters per run, power/energy attribution per
+  span, and Chrome-trace/JSONL/summary exporters shared by the
+  functional and simulated paths.
 - :mod:`repro.analysis` — phase profiling, energy accounting, timeline
   analysis, and report formatting.
 - :mod:`repro.experiments` — one module per paper table/figure.
@@ -46,6 +50,7 @@ __all__ = [
     "core",
     "sim",
     "resilience",
+    "telemetry",
     "analysis",
     "experiments",
     "supervisor",

@@ -15,7 +15,6 @@ structure is :func:`repro.core.parallel.run_parallel_benchmark`.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -24,6 +23,7 @@ import numpy as np
 from repro.candle.base import CandleBenchmark, LoadedData
 from repro.candle.preprocessing import get_scaler
 from repro.nn import get_optimizer
+from repro.telemetry import Tracer, tracing
 
 __all__ = ["run_benchmark", "BenchmarkRunReport"]
 
@@ -38,6 +38,7 @@ class BenchmarkRunReport:
     eval_s: float
     history: dict[str, list[float]] = field(default_factory=dict)
     eval_metrics: dict[str, float] = field(default_factory=dict)
+    tracer: Optional[Tracer] = None
 
     @property
     def total_s(self) -> float:
@@ -66,6 +67,7 @@ def run_benchmark(
     learning_rate: Optional[float] = None,
     seed: int = 0,
     validation: bool = True,
+    tracer: Optional[Tracer] = None,
 ) -> BenchmarkRunReport:
     """Execute the benchmark's three phases serially.
 
@@ -74,68 +76,79 @@ def run_benchmark(
     full :class:`repro.ingest.LoaderConfig`; without, synthetic arrays
     are generated in memory (loading cost ≈ 0). Hyperparameters default
     to the benchmark's Table 1 values.
+
+    Each phase is a telemetry span (``load``/``train``/``eval``) on
+    ``tracer`` — a fresh per-run :class:`repro.telemetry.Tracer` when
+    not supplied, returned on the report — and the tracer is active for
+    the duration, so ingest loads, collectives, and checkpoint writes
+    nest inside the phase that caused them.
     """
     from repro.ingest import load_benchmark_data
 
-    # ---- phase 1: data loading and preprocessing -------------------------
-    t0 = time.perf_counter()
-    if data_paths is not None:
-        data = load_benchmark_data(
-            benchmark, data_paths[0], data_paths[1], method=load_method
-        )
-    else:
-        data = benchmark.synth_arrays(np.random.default_rng(seed))
-    x_train, x_test = data.x_train, data.x_test
-    scale = get_scaler(scaler)
-    if scale is not None:
-        flat_train = x_train.reshape(len(x_train), -1)
-        flat_test = x_test.reshape(len(x_test), -1)
-        x_train = scale.fit_transform(flat_train).reshape(x_train.shape)
-        x_test = scale.transform(flat_test).reshape(x_test.shape)
-        if benchmark.spec.task == "autoencoder":
-            data = LoadedData(x_train, x_train, x_test, x_test)
-        else:
-            data = LoadedData(x_train, data.y_train, x_test, data.y_test)
-    load_s = time.perf_counter() - t0
-
-    # benchmarks with a conv front end (P1B3 conv=True) need a channel axis
-    if hasattr(benchmark, "prepare_x") and getattr(benchmark, "conv", False):
-        data = LoadedData(
-            benchmark.prepare_x(data.x_train),
-            data.y_train,
-            benchmark.prepare_x(data.x_test),
-            data.y_test,
-        )
-
-    # ---- phase 2: training and cross-validation ----------------------------
-    t1 = time.perf_counter()
     spec = benchmark.spec
-    model = benchmark.build_model(seed=seed)
-    loss, metric_names = _loss_and_metrics(benchmark)
-    model.compile(
-        get_optimizer(spec.optimizer, lr=learning_rate if learning_rate is not None else spec.learning_rate),
-        loss,
-        metrics=metric_names,
-    )
-    history = model.fit(
-        data.x_train,
-        data.y_train,
-        batch_size=min(batch_size or spec.batch_size, len(data.x_train)),
-        epochs=epochs if epochs is not None else min(spec.epochs, 8),
-        validation_data=(data.x_test, data.y_test) if validation else None,
-    )
-    train_s = time.perf_counter() - t1
+    if tracer is None:
+        tracer = Tracer(run_id=spec.name)
+    with tracing(tracer):
+        # ---- phase 1: data loading and preprocessing ---------------------
+        with tracer.span("load", load_method=str(getattr(load_method, "method", load_method))) as sp_load:
+            if data_paths is not None:
+                data = load_benchmark_data(
+                    benchmark, data_paths[0], data_paths[1], method=load_method
+                )
+            else:
+                data = benchmark.synth_arrays(np.random.default_rng(seed))
+            x_train, x_test = data.x_train, data.x_test
+            scale = get_scaler(scaler)
+            if scale is not None:
+                flat_train = x_train.reshape(len(x_train), -1)
+                flat_test = x_test.reshape(len(x_test), -1)
+                x_train = scale.fit_transform(flat_train).reshape(x_train.shape)
+                x_test = scale.transform(flat_test).reshape(x_test.shape)
+                if benchmark.spec.task == "autoencoder":
+                    data = LoadedData(x_train, x_train, x_test, x_test)
+                else:
+                    data = LoadedData(x_train, data.y_train, x_test, data.y_test)
+            sp_load.set_attrs(
+                rows_train=len(data.x_train), rows_test=len(data.x_test)
+            )
 
-    # ---- phase 3: prediction and evaluation ---------------------------------
-    t2 = time.perf_counter()
-    eval_metrics = model.evaluate(data.x_test, data.y_test)
-    eval_s = time.perf_counter() - t2
+        # benchmarks with a conv front end (P1B3 conv=True) need a channel axis
+        if hasattr(benchmark, "prepare_x") and getattr(benchmark, "conv", False):
+            data = LoadedData(
+                benchmark.prepare_x(data.x_train),
+                data.y_train,
+                benchmark.prepare_x(data.x_test),
+                data.y_test,
+            )
+
+        # ---- phase 2: training and cross-validation ----------------------
+        n_epochs = epochs if epochs is not None else min(spec.epochs, 8)
+        with tracer.span("train", epochs=n_epochs) as sp_train:
+            model = benchmark.build_model(seed=seed)
+            loss, metric_names = _loss_and_metrics(benchmark)
+            model.compile(
+                get_optimizer(spec.optimizer, lr=learning_rate if learning_rate is not None else spec.learning_rate),
+                loss,
+                metrics=metric_names,
+            )
+            history = model.fit(
+                data.x_train,
+                data.y_train,
+                batch_size=min(batch_size or spec.batch_size, len(data.x_train)),
+                epochs=n_epochs,
+                validation_data=(data.x_test, data.y_test) if validation else None,
+            )
+
+        # ---- phase 3: prediction and evaluation --------------------------
+        with tracer.span("eval") as sp_eval:
+            eval_metrics = model.evaluate(data.x_test, data.y_test)
 
     return BenchmarkRunReport(
         benchmark=spec.name,
-        load_s=load_s,
-        train_s=train_s,
-        eval_s=eval_s,
+        load_s=sp_load.duration_s,
+        train_s=sp_train.duration_s,
+        eval_s=sp_eval.duration_s,
         history=dict(history.history),
         eval_metrics=eval_metrics,
+        tracer=tracer,
     )

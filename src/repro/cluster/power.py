@@ -30,6 +30,21 @@ __all__ = [
 ]
 
 
+def _resolve_trapezoid(module=np):
+    """The trapezoid integrator for this NumPy.
+
+    ``np.trapezoid`` arrived in NumPy 2.0 (``np.trapz`` is deprecated
+    there but removed nowhere); on 1.x only ``np.trapz`` exists. Kept
+    as a function of the module so the selection is testable without
+    pinning a NumPy version.
+    """
+    fn = getattr(module, "trapezoid", None)
+    return fn if fn is not None else module.trapz
+
+
+_trapezoid = _resolve_trapezoid()
+
+
 @dataclass(frozen=True)
 class PowerSample:
     """One meter reading."""
@@ -91,6 +106,23 @@ class PhasePowerProfile:
             out[name] = out.get(name, 0.0) + (t1 - t0) * w
         return out
 
+    def energy_between(self, start_s: float, end_s: float) -> float:
+        """Closed-form energy over the window ``[start_s, end_s]``.
+
+        The exact interval query behind per-span energy attribution:
+        each phase contributes its overlap with the window times its
+        wattage. Windows partitioning the profile sum exactly to
+        :meth:`exact_energy_j`.
+        """
+        if end_s < start_s:
+            raise ValueError(f"window ends at {end_s} before it starts at {start_s}")
+        total = 0.0
+        for _, t0, t1, w in self._phases:
+            overlap = min(t1, end_s) - max(t0, start_s)
+            if overlap > 0:
+                total += overlap * w
+        return total
+
 
 class PowerMeter:
     """Samples a profile at a fixed rate (nvidia-smi / PoLiMEr analog)."""
@@ -100,14 +132,27 @@ class PowerMeter:
             raise ValueError(f"rate must be positive, got {rate_hz}")
         self.rate_hz = float(rate_hz)
 
+    def sample_times(self, start_s: float, end_s: float) -> np.ndarray:
+        """The meter's tick grid covering ``[start_s, end_s]``.
+
+        Index-based (``start + arange(n)/rate``) rather than a float
+        ``arange`` step: accumulating ``1/rate`` drifts over multi-hour
+        profiles and drops or duplicates the final tick for non-integer
+        rates, whereas one multiply per index keeps every tick exact to
+        one ulp and the endpoint included whenever it lands on the grid.
+        """
+        span = end_s - start_s
+        if span < 0:
+            return np.empty(0)
+        n = int(np.floor(span * self.rate_hz + 1e-9)) + 1
+        return start_s + np.arange(n) / self.rate_hz
+
     def sample(self, profile: PhasePowerProfile) -> List[PowerSample]:
         """Readings at t = 0, 1/rate, 2/rate, ... across the profile."""
         phases = profile.phases
         if not phases:
             return []
-        t0 = phases[0][1]
-        t1 = phases[-1][2]
-        times = np.arange(t0, t1 + 1e-9, 1.0 / self.rate_hz)
+        times = self.sample_times(phases[0][1], phases[-1][2])
         return [PowerSample(float(t), profile.power_at(float(t))) for t in times]
 
 
@@ -119,7 +164,7 @@ def trapezoid_energy(samples: Sequence[PowerSample]) -> float:
     w = np.array([s.power_w for s in samples])
     if np.any(np.diff(t) < 0):
         raise ValueError("samples must be time-ordered")
-    return float(np.trapezoid(w, t))
+    return float(_trapezoid(w, t))
 
 
 @dataclass

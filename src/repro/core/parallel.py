@@ -34,6 +34,7 @@ from repro.ingest import LoaderConfig, as_config, load_benchmark_data
 from repro.hvd.timeline import Timeline
 from repro.mpi import run_spmd
 from repro.nn import get_optimizer
+from repro.telemetry import Tracer
 
 __all__ = [
     "run_parallel_benchmark",
@@ -78,6 +79,7 @@ class ParallelRunResult:
     ranks: list[RankReport]
     timeline: Timeline
     wall_s: float
+    tracer: Optional[Tracer] = None
 
     @property
     def nworkers(self) -> int:
@@ -122,6 +124,7 @@ def run_parallel_benchmark(
     local_size: int = 6,
     validation: bool = False,
     arena: bool = True,
+    tracer: Optional[Tracer] = None,
 ) -> ParallelRunResult:
     """Run one benchmark under one scaling plan, functionally.
 
@@ -141,68 +144,77 @@ def run_parallel_benchmark(
     zero-copy slab slices and optimizer updates are fused; ``False``
     falls back to the per-parameter pack/unpack reference path (the two
     produce bit-identical weights).
+
+    Every rank records ``load``/``train``/``eval`` phase spans — and,
+    through :mod:`repro.hvd.ops`, its collectives — into one shared
+    ``tracer`` (created fresh when not supplied, returned on the
+    result), so the run yields a joint Chrome-trace/metrics view on top
+    of the per-rank timings.
     """
     if data is None and data_paths is None:
         data = benchmark.synth_arrays(np.random.default_rng(seed))
     load_config = as_config(load_method)
     loss_name, metric_names = _loss_and_metrics(benchmark)
-    timeline = Timeline(origin_s=time.perf_counter())
+    origin = time.perf_counter()
+    timeline = Timeline(origin_s=origin)
+    if tracer is None:
+        tracer = Tracer(run_id=f"{benchmark.spec.name}-x{plan.nworkers}", origin_s=origin)
     factors = (
         io_skew.factors(plan.nworkers, seed=seed) if io_skew is not None else None
     )
 
     def worker(comm):
-        hvd.init(comm, timeline=timeline)
+        hvd.init(comm, timeline=timeline, tracer=tracer)
         try:
             # ---- phase 1: data loading & preprocessing -------------------
-            t0 = time.perf_counter()
-            if data_paths is not None:
-                cfg = load_config
-                if cfg.method == "sharded" and cfg.shard is None:
-                    cfg = cfg.with_shard(comm.rank, comm.size, allgather=True)
-                local = load_benchmark_data(
-                    benchmark, data_paths[0], data_paths[1], method=cfg, comm=comm
-                )
-            else:
-                local = data
-            if factors is not None and skew_scale_s > 0:
-                # stretch this rank's load relative to the fastest rank
-                time.sleep((factors[comm.rank] - factors.min()) * skew_scale_s)
-            load_s = time.perf_counter() - t0
+            with tracer.span("load", rank=comm.rank) as sp_load:
+                if data_paths is not None:
+                    cfg = load_config
+                    if cfg.method == "sharded" and cfg.shard is None:
+                        cfg = cfg.with_shard(comm.rank, comm.size, allgather=True)
+                    local = load_benchmark_data(
+                        benchmark, data_paths[0], data_paths[1], method=cfg, comm=comm
+                    )
+                    sp_load.set_attrs(method=cfg.method)
+                else:
+                    local = data
+                if factors is not None and skew_scale_s > 0:
+                    # stretch this rank's load relative to the fastest rank
+                    time.sleep((factors[comm.rank] - factors.min()) * skew_scale_s)
 
             # ---- phase 2: training & cross-validation --------------------
-            t1 = time.perf_counter()
-            model = benchmark.build_model(seed=seed + 1000 * (comm.rank + 1))
-            if not arena:
-                model.detach_arena()
-            base_opt = get_optimizer(benchmark.spec.optimizer, lr=plan.learning_rate)
-            model.compile(
-                hvd.DistributedOptimizer(base_opt), loss_name, metrics=metric_names
-            )
-            callbacks = [hvd.BroadcastGlobalVariablesCallback(0)]
-            x_train = local.x_train
-            if hasattr(benchmark, "prepare_x") and getattr(benchmark, "conv", False):
-                x_train = benchmark.prepare_x(x_train[..., 0] if x_train.ndim == 3 else x_train)
-            history = model.fit(
-                x_train,
-                local.y_train,
-                batch_size=min(plan.batch_size, len(x_train)),
-                epochs=plan.epochs_per_worker,
-                callbacks=callbacks,
-                validation_data=(local.x_test, local.y_test) if validation else None,
-            )
-            train_s = time.perf_counter() - t1
+            with tracer.span(
+                "train", rank=comm.rank, epochs=plan.epochs_per_worker
+            ) as sp_train:
+                model = benchmark.build_model(seed=seed + 1000 * (comm.rank + 1))
+                if not arena:
+                    model.detach_arena()
+                base_opt = get_optimizer(benchmark.spec.optimizer, lr=plan.learning_rate)
+                model.compile(
+                    hvd.DistributedOptimizer(base_opt), loss_name, metrics=metric_names
+                )
+                callbacks = [hvd.BroadcastGlobalVariablesCallback(0)]
+                x_train = local.x_train
+                if hasattr(benchmark, "prepare_x") and getattr(benchmark, "conv", False):
+                    x_train = benchmark.prepare_x(x_train[..., 0] if x_train.ndim == 3 else x_train)
+                history = model.fit(
+                    x_train,
+                    local.y_train,
+                    batch_size=min(plan.batch_size, len(x_train)),
+                    epochs=plan.epochs_per_worker,
+                    callbacks=callbacks,
+                    validation_data=(local.x_test, local.y_test) if validation else None,
+                )
 
             # ---- phase 3: prediction & evaluation ------------------------
-            t2 = time.perf_counter()
-            x_test = local.x_test
-            metrics = model.evaluate(x_test, local.y_test)
-            eval_s = time.perf_counter() - t2
+            with tracer.span("eval", rank=comm.rank) as sp_eval:
+                x_test = local.x_test
+                metrics = model.evaluate(x_test, local.y_test)
             return RankReport(
                 rank=comm.rank,
-                load_s=load_s,
-                train_s=train_s,
-                eval_s=eval_s,
+                load_s=sp_load.duration_s,
+                train_s=sp_train.duration_s,
+                eval_s=sp_eval.duration_s,
                 history=dict(history.history),
                 eval_metrics=metrics,
             )
@@ -212,4 +224,6 @@ def run_parallel_benchmark(
     t_start = time.perf_counter()
     reports = run_spmd(plan.nworkers, worker, local_size=local_size)
     wall = time.perf_counter() - t_start
-    return ParallelRunResult(plan=plan, ranks=reports, timeline=timeline, wall_s=wall)
+    return ParallelRunResult(
+        plan=plan, ranks=reports, timeline=timeline, wall_s=wall, tracer=tracer
+    )

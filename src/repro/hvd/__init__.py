@@ -42,6 +42,7 @@ from repro.hvd.runtime import (
     shutdown,
     size,
     timeline,
+    tracer,
 )
 from repro.hvd.timeline import Timeline, TimelineEvent
 
@@ -53,6 +54,7 @@ __all__ = [
     "rank",
     "local_rank",
     "timeline",
+    "tracer",
     "allreduce",
     "allgather",
     "broadcast",

@@ -32,6 +32,21 @@ def _nbytes(obj: Any) -> int:
     return 64
 
 
+def _trace(name: str, category: str, rank: int, start_s: float, duration_s: float, **attrs) -> None:
+    """Mirror a collective's timing into this rank's telemetry tracer.
+
+    Spans carry the byte counts the timeline events already record, so
+    per-collective bandwidth and energy attribution need no second
+    instrumentation pass. No-op on untraced runs.
+    """
+    tr = _rt.tracer()
+    if tr is not None:
+        tr.record_span(
+            name, start_s, duration_s, category=category, rank=rank,
+            absolute=True, **attrs,
+        )
+
+
 def allreduce(tensor: np.ndarray, op: str = "mean", name: Optional[str] = None) -> np.ndarray:
     """Average (or sum/max/min) a tensor across all ranks.
 
@@ -46,11 +61,20 @@ def allreduce(tensor: np.ndarray, op: str = "mean", name: Optional[str] = None) 
     t_ready = time.perf_counter()
     result = comm.allreduce(tensor, op=op)
     t_done = time.perf_counter()
+    nbytes = _nbytes(tensor)
     tl.record("negotiate_allreduce", comm.rank, t_enter, t_ready - t_enter, tensor=tag)
     tl.record(
-        "allreduce", comm.rank, t_ready, t_done - t_ready, tensor=tag, bytes=_nbytes(tensor)
+        "allreduce", comm.rank, t_ready, t_done - t_ready, tensor=tag, bytes=nbytes
     )
     tl.record("nccl_allreduce", comm.rank, t_ready, t_done - t_ready, tensor=tag)
+    _trace(
+        "negotiate_allreduce", "allreduce", comm.rank, t_enter, t_ready - t_enter,
+        tensor=tag,
+    )
+    _trace(
+        "allreduce", "allreduce", comm.rank, t_ready, t_done - t_ready,
+        tensor=tag, bytes=nbytes,
+    )
     return result
 
 
@@ -69,11 +93,20 @@ def broadcast(obj: Any, root: int = 0, name: Optional[str] = None) -> Any:
     t_ready = time.perf_counter()
     result = comm.bcast(obj, root=root)
     t_done = time.perf_counter()
+    nbytes = _nbytes(obj)
     tl.record("negotiate_broadcast", comm.rank, t_enter, t_ready - t_enter, tensor=tag)
     tl.record(
-        "broadcast", comm.rank, t_ready, t_done - t_ready, tensor=tag, bytes=_nbytes(obj)
+        "broadcast", comm.rank, t_ready, t_done - t_ready, tensor=tag, bytes=nbytes
     )
     tl.record("mpi_broadcast", comm.rank, t_ready, t_done - t_ready, tensor=tag)
+    _trace(
+        "negotiate_broadcast", "broadcast", comm.rank, t_enter, t_ready - t_enter,
+        tensor=tag,
+    )
+    _trace(
+        "broadcast", "broadcast", comm.rank, t_ready, t_done - t_ready,
+        tensor=tag, bytes=nbytes,
+    )
     return result
 
 
@@ -83,13 +116,18 @@ def allgather(obj: Any, name: Optional[str] = None) -> list:
     tl = _rt.timeline()
     t_enter = time.perf_counter()
     result = comm.allgather(obj)
+    duration = time.perf_counter() - t_enter
     tl.record(
         "allgather",
         comm.rank,
         t_enter,
-        time.perf_counter() - t_enter,
+        duration,
         category="allgather",
         tensor=name or "object",
+    )
+    _trace(
+        "allgather", "allgather", comm.rank, t_enter, duration,
+        tensor=name or "object", bytes=_nbytes(obj),
     )
     return result
 

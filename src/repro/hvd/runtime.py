@@ -25,6 +25,7 @@ __all__ = [
     "local_rank",
     "comm",
     "timeline",
+    "tracer",
     "clock",
 ]
 
@@ -32,23 +33,37 @@ _tls = threading.local()
 
 
 class _HvdState:
-    def __init__(self, communicator: Communicator, tl: Optional[Timeline]):
+    def __init__(self, communicator: Communicator, tl: Optional[Timeline], tr):
         self.comm = communicator
         self.timeline = tl if tl is not None else Timeline(origin_s=time.perf_counter())
+        self.tracer = tr
         self.t0 = time.perf_counter()
 
 
-def init(communicator: Optional[Communicator] = None, timeline: Optional[Timeline] = None) -> None:
+def init(
+    communicator: Optional[Communicator] = None,
+    timeline: Optional[Timeline] = None,
+    tracer=None,
+) -> None:
     """Initialize Horovod for the calling rank thread.
 
     ``communicator=None`` creates a single-rank world, so serial code
     using the Horovod API runs unchanged — matching ``horovodrun -np 1``.
+    ``tracer`` is an optional :class:`repro.telemetry.Tracer` the
+    collective ops record spans into alongside the timeline; when
+    omitted, the process-wide active tracer (if any) is adopted, so a
+    run activated via :func:`repro.telemetry.tracing` sees its rank
+    threads automatically.
     """
     if getattr(_tls, "state", None) is not None:
         raise RuntimeError("hvd.init() called twice on this rank; call shutdown() first")
     if communicator is None:
         communicator = Communicator(_Context(1, timeout=60.0), 0)
-    _tls.state = _HvdState(communicator, timeline)
+    if tracer is None:
+        from repro.telemetry import runtime as _telemetry_rt
+
+        tracer = _telemetry_rt.active_tracer()
+    _tls.state = _HvdState(communicator, timeline, tracer)
 
 
 def shutdown() -> None:
@@ -94,6 +109,11 @@ def comm() -> Communicator:
 def timeline() -> Timeline:
     """The shared timeline this rank records into."""
     return _state().timeline
+
+
+def tracer():
+    """This rank's bound telemetry tracer, or None when untraced."""
+    return _state().tracer
 
 
 def clock() -> float:

@@ -15,6 +15,8 @@ GPUs) from these events.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import threading
 from dataclasses import dataclass, field
 from typing import Optional
@@ -118,9 +120,64 @@ class Timeline:
         }
 
     def dump(self, path) -> None:
-        """Write the Chrome trace JSON to ``path``."""
-        with open(path, "w") as fh:
-            json.dump(self.to_chrome_trace(), fh)
+        """Atomically write the Chrome trace JSON to ``path``.
+
+        Temp-then-``os.replace``, the same pattern the ingest cache and
+        checkpoint manifest use: a crash mid-dump leaves the previous
+        trace intact instead of a truncated, unparseable file.
+        """
+        path = os.fspath(path)
+        text = json.dumps(self.to_chrome_trace())
+        fd, tmp = tempfile.mkstemp(
+            prefix=os.path.basename(path) + ".",
+            suffix=".tmp",
+            dir=os.path.dirname(path) or ".",
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(text)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    @classmethod
+    def from_chrome(cls, source) -> "Timeline":
+        """Rebuild a timeline from Chrome trace JSON.
+
+        ``source`` is the trace dict, a JSON string, or a file path.
+        Only complete (``ph="X"``) events are events of this model;
+        counter samples and metadata are skipped. This is the read path
+        that lets :mod:`repro.analysis.timeline_analysis` consume traces
+        exported by :mod:`repro.telemetry` (or by this class) from disk.
+        """
+        if isinstance(source, (str, bytes, os.PathLike)) and os.path.exists(
+            os.fspath(source)
+        ):
+            with open(source) as fh:
+                obj = json.load(fh)
+        elif isinstance(source, (str, bytes)):
+            obj = json.loads(source)
+        else:
+            obj = source
+        tl = cls()
+        for ev in obj.get("traceEvents", []):
+            if ev.get("ph") != "X":
+                continue
+            tl.record(
+                ev["name"],
+                int(ev.get("tid", 0)),
+                float(ev["ts"]) / 1e6,
+                float(ev.get("dur", 0.0)) / 1e6,
+                category=ev.get("cat"),
+                **dict(ev.get("args") or {}),
+            )
+        return tl
 
     def __len__(self) -> int:
         with self._lock:

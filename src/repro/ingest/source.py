@@ -36,6 +36,7 @@ from repro.ingest.cache import ColumnStoreCache
 from repro.ingest.config import LoaderConfig, ShardSpec
 from repro.ingest.parallel import read_csv_parallel
 from repro.ingest.shard import load_sharded
+from repro.telemetry import runtime as telemetry
 
 __all__ = [
     "DataSource",
@@ -119,10 +120,25 @@ class DataSource:
             raise ValueError(
                 f"unknown method {config.method!r}; known: {list(_REGISTRY)}"
             ) from None
+        span_attrs = {"method": config.method, "path": self.path}
+        if config.shard is not None:
+            span_attrs["shard_rank"] = config.shard.rank
+            span_attrs["shard_world"] = config.shard.world_size
         t0 = time.perf_counter()
-        out = loader(self.path, config, comm)
-        seconds = time.perf_counter() - t0
-        frame, cache_hit = out if isinstance(out, tuple) else (out, None)
+        with telemetry.span("ingest.load", category="ingest", **span_attrs) as sp:
+            out = loader(self.path, config, comm)
+            seconds = time.perf_counter() - t0
+            frame, cache_hit = out if isinstance(out, tuple) else (out, None)
+            if sp is not None:
+                sp.set_attrs(rows=len(frame))
+                if cache_hit is not None:
+                    sp.set_attrs(cache_hit=cache_hit)
+        telemetry.counter("ingest.loads", method=config.method)
+        telemetry.counter("ingest.rows", len(frame), method=config.method)
+        if cache_hit is not None:
+            telemetry.counter(
+                "ingest.cache.hit" if cache_hit else "ingest.cache.miss"
+            )
         return LoadResult(
             frame=frame,
             seconds=seconds,

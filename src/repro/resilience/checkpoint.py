@@ -32,6 +32,7 @@ from repro.nn.serialization import (
     restore_rng_state,
     save_checkpoint,
 )
+from repro.telemetry import runtime as telemetry
 
 __all__ = ["CheckpointManager", "CheckpointInfo"]
 
@@ -132,11 +133,20 @@ class CheckpointManager:
     ) -> CheckpointInfo:
         """Checkpoint the model at ``epoch``; prune beyond ``keep_last``."""
         path = self.path_for(epoch)
-        digest = save_checkpoint(model, path, epoch=epoch, extra_state=extra_state)
-        manifest = self._read_manifest()
-        manifest[os.path.basename(path)] = digest
-        self._write_manifest(manifest)
-        self._prune()
+        with telemetry.span(
+            "checkpoint.save", category="checkpoint", epoch=epoch, path=path
+        ) as sp:
+            digest = save_checkpoint(model, path, epoch=epoch, extra_state=extra_state)
+            manifest = self._read_manifest()
+            manifest[os.path.basename(path)] = digest
+            self._write_manifest(manifest)
+            self._prune()
+            if sp is not None:
+                try:
+                    sp.set_attrs(bytes=os.path.getsize(path))
+                except OSError:
+                    pass
+        telemetry.counter("checkpoint.saves")
         return CheckpointInfo(epoch=epoch, path=path, sha256=digest)
 
     def _prune(self) -> None:
@@ -180,14 +190,21 @@ class CheckpointManager:
         retained checkpoint. Returns the loaded metadata, or None when
         no checkpoint survives scrutiny.
         """
-        for info in reversed(self.checkpoints()):
-            try:
-                meta = load_checkpoint(model, info.path, expected_sha256=info.sha256)
-            except CheckpointError:
-                continue
-            _apply_rank_rng(model, meta, 0)
-            return meta
-        return None
+        with telemetry.span("checkpoint.restore", category="checkpoint") as sp:
+            for info in reversed(self.checkpoints()):
+                try:
+                    meta = load_checkpoint(
+                        model, info.path, expected_sha256=info.sha256
+                    )
+                except CheckpointError:
+                    telemetry.counter("checkpoint.restore.rejected")
+                    continue
+                _apply_rank_rng(model, meta, 0)
+                if sp is not None:
+                    sp.set_attrs(epoch=info.epoch, path=info.path)
+                telemetry.counter("checkpoint.restores")
+                return meta
+            return None
 
     def restore_distributed(self, model, root: int = 0) -> Optional[dict]:
         """Rank-``root`` restores, then broadcasts state to every rank.

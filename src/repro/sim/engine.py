@@ -49,6 +49,7 @@ class PhaseSimulator:
         nranks: int,
         track_ranks: Optional[Iterable[int]] = None,
         failure_process=None,
+        tracer=None,
     ):
         if nranks <= 0:
             raise ValueError(f"nranks must be positive, got {nranks}")
@@ -64,6 +65,7 @@ class PhaseSimulator:
                 raise ValueError(f"tracked rank {r} out of range")
         self.profiles = {r: PhasePowerProfile() for r in self.tracked}
         self.timeline = Timeline()
+        self.tracer = tracer  # optional repro.telemetry.Tracer, sim time base
         self.phase_seconds: dict[str, float] = {}
 
     # -- helpers ---------------------------------------------------------
@@ -85,7 +87,17 @@ class PhaseSimulator:
         for r in self.tracked:
             if duration[r] > 0:
                 self.profiles[r].add_phase(name, start[r], start[r] + duration[r], power[r])
-                self.timeline.record(name, r, start[r], duration[r])
+                event = self.timeline.record(name, r, start[r], duration[r])
+                if self.tracer is not None:
+                    # sim time starts at 0, already the tracer's base
+                    self.tracer.record_span(
+                        name,
+                        float(start[r]),
+                        float(duration[r]),
+                        category=event.category,
+                        rank=r,
+                        power_w=float(power[r]),
+                    )
 
     # -- phase primitives ---------------------------------------------------
     def advance(self, duration: ArrayLike, name: str, power_w: ArrayLike) -> None:

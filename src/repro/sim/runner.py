@@ -107,11 +107,15 @@ class ScaledRunSimulator:
         method: str = "original",
         seed: int = 0,
         keep_profiles: bool = True,
+        tracer=None,
     ) -> SimRunReport:
         """Simulate one run; returns the full report.
 
         ``method`` picks the data-loading implementation ('original',
         'chunked', 'dask'). ``seed`` fixes the per-rank I/O skew draw.
+        ``tracer`` (a :class:`repro.telemetry.Tracer`) receives one span
+        per simulated phase of the tracked ranks, in sim time; bind a
+        tracked rank's power profile afterwards for per-span joules.
         """
         spec = (
             get_benchmark(benchmark).spec if isinstance(benchmark, str) else benchmark
@@ -126,7 +130,7 @@ class ScaledRunSimulator:
         # the negotiate_broadcast skew the paper's timelines show
         order = np.argsort(factors)
         tracked = {int(order[0]), int(order[len(order) // 2]), int(order[-1])}
-        sim = PhaseSimulator(n, track_ranks=tracked)
+        sim = PhaseSimulator(n, track_ranks=tracked, tracer=tracer)
         load_vector = base_load * factors
         sim.advance(load_vector, "data_loading", power.io_w)
 

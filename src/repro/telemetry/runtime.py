@@ -1,0 +1,82 @@
+"""The process-wide active tracer.
+
+Deep call sites — an ingest method five frames below the pipeline, a
+checkpoint write inside a Horovod callback — should not force a
+``tracer=`` parameter through every intermediate signature. Instead the
+run's entry point *activates* its tracer here and the leaves record
+through the module-level :func:`span` / :func:`counter` helpers, which
+collapse to near-zero-cost no-ops when nothing is active.
+
+One process, one active tracer: the SPMD runtime executes ranks as
+threads of a single run, and the tracer itself is thread-safe with
+per-thread span stacks, so rank concurrency needs nothing extra.
+Nested activations restore the previous tracer on exit
+(:func:`tracing` is re-entrant).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager, nullcontext
+from typing import Iterator, Optional
+
+from repro.telemetry.tracer import Tracer
+
+__all__ = ["activate", "deactivate", "active_tracer", "tracing", "span", "counter"]
+
+_lock = threading.Lock()
+_active: Optional[Tracer] = None
+
+
+def activate(tracer: Tracer) -> None:
+    """Make ``tracer`` the process-wide default."""
+    global _active
+    with _lock:
+        _active = tracer
+
+
+def deactivate() -> None:
+    """Clear the process-wide default tracer."""
+    global _active
+    with _lock:
+        _active = None
+
+
+def active_tracer() -> Optional[Tracer]:
+    """The active tracer, or None when tracing is off."""
+    return _active
+
+
+@contextmanager
+def tracing(tracer: Tracer) -> Iterator[Tracer]:
+    """Activate ``tracer`` for the duration of the block (re-entrant)."""
+    global _active
+    with _lock:
+        previous = _active
+        _active = tracer
+    try:
+        yield tracer
+    finally:
+        with _lock:
+            _active = previous
+
+
+def span(name: str, category: str = "phase", rank: Optional[int] = None, **attrs):
+    """A span on the active tracer; a no-op context when tracing is off.
+
+    The returned context yields the open span (with ``set_attrs``) when
+    active, or None when not — call sites guard attr updates with
+    ``if sp is not None``.
+    """
+    tracer = _active
+    if tracer is None:
+        return nullcontext(None)
+    return tracer.span(name, category=category, rank=rank, **attrs)
+
+
+def counter(name: str, value: float = 1.0, rank: Optional[int] = None, **attrs):
+    """Bump a counter on the active tracer; no-op when tracing is off."""
+    tracer = _active
+    if tracer is None:
+        return None
+    return tracer.counter(name, value=value, rank=rank, **attrs)

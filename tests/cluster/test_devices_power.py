@@ -118,3 +118,55 @@ class TestEnergyAccount:
     def test_validation(self):
         with pytest.raises(ValueError):
             EnergyAccount(device_count=0, duration_s=1, energy_per_device_j=1)
+
+
+class TestTrapezoidResolver:
+    """The integrator must work on NumPy 1.x (trapz) and 2.x (trapezoid)."""
+
+    def test_resolves_on_this_numpy(self):
+        from repro.cluster.power import _resolve_trapezoid
+
+        fn = _resolve_trapezoid()
+        assert fn([0.0, 1.0], [0.0, 1.0]) == pytest.approx(0.5)
+
+    def test_prefers_trapezoid_when_present(self):
+        from types import SimpleNamespace
+
+        from repro.cluster.power import _resolve_trapezoid
+
+        new_style = SimpleNamespace(trapezoid="new", trapz="old")
+        assert _resolve_trapezoid(new_style) == "new"
+
+    def test_falls_back_to_trapz(self):
+        from types import SimpleNamespace
+
+        from repro.cluster.power import _resolve_trapezoid
+
+        old_style = SimpleNamespace(trapz="old")
+        assert _resolve_trapezoid(old_style) == "old"
+
+
+class TestEnergyBetween:
+    def _profile(self):
+        p = PhasePowerProfile()
+        p.add_phase("load", 0.0, 100.0, 60.0)
+        p.add_phase("train", 100.0, 400.0, 250.0)
+        return p
+
+    def test_full_window_matches_exact(self):
+        p = self._profile()
+        assert p.energy_between(0.0, 400.0) == pytest.approx(p.exact_energy_j())
+
+    def test_window_straddling_boundary(self):
+        p = self._profile()
+        assert p.energy_between(90.0, 110.0) == pytest.approx(
+            10 * 60.0 + 10 * 250.0
+        )
+
+    def test_window_outside_profile_is_zero(self):
+        p = self._profile()
+        assert p.energy_between(500.0, 600.0) == 0.0
+
+    def test_backwards_window_rejected(self):
+        with pytest.raises(ValueError):
+            self._profile().energy_between(10.0, 5.0)

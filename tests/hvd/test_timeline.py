@@ -75,3 +75,67 @@ def test_len_and_thread_safety_smoke():
     for t in threads:
         t.join()
     assert len(tl) == 800
+
+
+class TestAtomicDump:
+    def test_dump_replaces_without_litter(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text("old contents")
+        tl = Timeline()
+        tl.record("broadcast", 0, 0.0, 1.0)
+        tl.dump(path)
+        assert json.loads(path.read_text())["traceEvents"]
+        import os
+
+        assert os.listdir(tmp_path) == ["trace.json"]
+
+    def test_failed_dump_preserves_existing_file(self, tmp_path, monkeypatch):
+        import os
+
+        path = tmp_path / "trace.json"
+        path.write_text("precious")
+
+        def exploding_replace(src, dst):
+            raise OSError("disk gone")
+
+        real_replace = os.replace
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            Timeline().dump(path)
+        monkeypatch.setattr(os, "replace", real_replace)
+        assert path.read_text() == "precious"
+        assert os.listdir(tmp_path) == ["trace.json"]
+
+
+class TestFromChrome:
+    def test_roundtrip_from_file(self, tmp_path):
+        tl = Timeline()
+        tl.record("negotiate_broadcast", 1, 2.0, 3.0, bytes=512)
+        tl.record("allreduce", 0, 5.0, 0.5)
+        path = tmp_path / "trace.json"
+        tl.dump(path)
+        reloaded = Timeline.from_chrome(path)
+        assert len(reloaded) == 2
+        ev = reloaded.events_named("negotiate_broadcast")[0]
+        assert ev.rank == 1
+        assert ev.start_s == pytest.approx(2.0)
+        assert ev.duration_s == pytest.approx(3.0)
+        assert ev.category == "broadcast"
+        assert ev.args["bytes"] == 512
+
+    def test_from_dict_and_string(self):
+        tl = Timeline()
+        tl.record("broadcast", 0, 0.0, 1.0)
+        trace = tl.to_chrome_trace()
+        assert len(Timeline.from_chrome(trace)) == 1
+        assert len(Timeline.from_chrome(json.dumps(trace))) == 1
+
+    def test_non_span_events_skipped(self):
+        trace = {
+            "traceEvents": [
+                {"name": "x", "ph": "X", "pid": 0, "tid": 0, "ts": 0, "dur": 1e6},
+                {"name": "c", "ph": "C", "pid": 0, "tid": 0, "ts": 0, "args": {}},
+            ]
+        }
+        reloaded = Timeline.from_chrome(trace)
+        assert [e.name for e in reloaded.events] == ["x"]

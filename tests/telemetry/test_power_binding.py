@@ -1,0 +1,191 @@
+"""Power binding: per-span joules, trapezoid-vs-exact boundary behavior."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.power import PhasePowerProfile, PowerMeter
+from repro.telemetry import PowerBinding, Tracer, profile_from_spans
+from tests.telemetry.test_tracer import FakeClock
+
+
+def paper_like_profile():
+    """Low-power load then high-power train — the Table 5a/5b shape."""
+    p = PhasePowerProfile()
+    p.add_phase("load", 0.0, 100.0, 60.0)
+    p.add_phase("train", 100.0, 400.0, 250.0)
+    p.add_phase("eval", 400.0, 430.0, 200.0)
+    return p
+
+
+class TestBindingModes:
+    def test_exact_mode_matches_closed_form(self):
+        profile = paper_like_profile()
+        b = PowerBinding(profile, rate_hz=1.0, mode="exact")
+        assert b.energy_between(0.0, 430.0) == pytest.approx(
+            profile.exact_energy_j()
+        )
+        assert b.energy_between(50.0, 150.0) == pytest.approx(
+            50 * 60.0 + 50 * 250.0
+        )
+
+    def test_trapezoid_tolerance_at_power_step(self):
+        """Trapezoid error concentrates at phase boundaries: one sample
+        interval straddling a step of height dW mis-integrates by at
+        most dW * dt / 2."""
+        profile = paper_like_profile()
+        for rate in (1.0, 2.0):
+            b = PowerBinding(profile, rate_hz=rate, mode="trapezoid")
+            exact = profile.exact_energy_j()
+            est = b.energy_between(0.0, 430.0)
+            steps = [abs(250.0 - 60.0), abs(200.0 - 250.0)]
+            bound = sum(s / (2 * rate) for s in steps) + 1e-6
+            assert abs(est - exact) <= bound
+
+    def test_trapezoid_exact_on_constant_power(self):
+        p = PhasePowerProfile()
+        p.add_phase("train", 0.0, 100.0, 150.0)
+        b = PowerBinding(p, rate_hz=1.0)
+        assert b.energy_between(0.0, 100.0) == pytest.approx(15000.0)
+        # off-grid window endpoints are included as extra sample points
+        assert b.energy_between(10.25, 20.75) == pytest.approx(10.5 * 150.0)
+
+    def test_attribute_returns_energy_and_watts(self):
+        b = PowerBinding(paper_like_profile(), mode="exact")
+        energy, watts = b.attribute(0.0, 100.0)
+        assert energy == pytest.approx(6000.0)
+        assert watts == pytest.approx(60.0)
+        assert b.attribute(5.0, 5.0) == (0.0, 0.0)
+
+    def test_invalid_mode_and_window(self):
+        with pytest.raises(ValueError):
+            PowerBinding(paper_like_profile(), mode="simpson")
+        with pytest.raises(ValueError):
+            PowerBinding(paper_like_profile()).energy_between(10.0, 5.0)
+
+
+class TestSpanAttribution:
+    def _traced_run(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock, origin_s=0.0)
+        for name, dur in (("load", 100.0), ("train", 300.0), ("eval", 30.0)):
+            with tracer.span(name):
+                clock.advance(dur)
+        return tracer
+
+    def test_span_energies_sum_to_profile_total(self):
+        """Adjacent spans share grid points, so attribution telescopes:
+        the per-span joules sum to the whole-profile trapezoid integral,
+        within trapezoid tolerance of the closed form."""
+        tracer = self._traced_run()
+        profile = paper_like_profile()
+        for rate in (1.0, 2.0):
+            tracer.bind_power(profile, rate_hz=rate)
+            total = sum(
+                tracer.span_energy(s)[0] for s in tracer.top_level_spans()
+            )
+            exact = profile.exact_energy_j()
+            bound = (190.0 + 50.0) / (2 * rate) + 1e-6
+            assert abs(total - exact) <= bound
+
+    def test_exact_mode_sums_exactly(self):
+        tracer = self._traced_run()
+        tracer.bind_power(paper_like_profile(), mode="exact")
+        total = sum(tracer.span_energy(s)[0] for s in tracer.top_level_spans())
+        assert total == pytest.approx(paper_like_profile().exact_energy_j())
+
+    def test_unbound_tracer_returns_none(self):
+        tracer = self._traced_run()
+        assert tracer.span_energy(tracer.spans[0]) is None
+
+    def test_table5_arithmetic_per_phase(self):
+        """Shortening the low-power load phase raises average power and
+        cuts energy — the paper's headline effect, now per phase."""
+
+        def run(load_s):
+            clock = FakeClock()
+            tracer = Tracer(clock=clock, origin_s=0.0)
+            for name, dur in (("load", load_s), ("train", 300.0)):
+                with tracer.span(name):
+                    clock.advance(dur)
+            profile = profile_from_spans(tracer, {"load": 60.0, "train": 250.0})
+            tracer.bind_power(profile, mode="exact")
+            spans = tracer.top_level_spans()
+            energy = sum(tracer.span_energy(s)[0] for s in spans)
+            duration = spans[-1].end_s - spans[0].start_s
+            return energy, energy / duration
+
+        orig_energy, orig_watts = run(load_s=200.0)
+        opt_energy, opt_watts = run(load_s=20.0)
+        assert opt_energy < orig_energy
+        assert opt_watts > orig_watts
+
+
+class TestProfileFromSpans:
+    def test_gaps_become_idle(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock, origin_s=0.0)
+        with tracer.span("load"):
+            clock.advance(10.0)
+        clock.advance(5.0)  # untraced gap
+        with tracer.span("train"):
+            clock.advance(20.0)
+        profile = profile_from_spans(
+            tracer, {"load": 60.0, "train": 250.0}, idle_w=10.0
+        )
+        names = [name for name, *_ in profile.phases]
+        assert names == ["load", "idle", "train"]
+        assert profile.phase_energy_j()["idle"] == pytest.approx(50.0)
+        assert profile.duration_s() == pytest.approx(35.0)
+
+    def test_callable_power_and_default(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock, origin_s=0.0)
+        with tracer.span("mystery"):
+            clock.advance(10.0)
+        by_map = profile_from_spans(tracer, {}, default_w=42.0)
+        assert by_map.exact_energy_j() == pytest.approx(420.0)
+        by_fn = profile_from_spans(tracer, lambda span: 7.0)
+        assert by_fn.exact_energy_j() == pytest.approx(70.0)
+
+    def test_rank_filter_and_empty(self):
+        tracer = Tracer(origin_s=0.0)
+        tracer.record_span("load", 0.0, 10.0, rank=1)
+        profile = profile_from_spans(tracer, {"load": 60.0}, rank=0)
+        assert profile.phases == []
+        profile1 = profile_from_spans(tracer, {"load": 60.0}, rank=1)
+        assert profile1.exact_energy_j() == pytest.approx(600.0)
+
+
+class TestMeterFixes:
+    """Satellite regression coverage for the sampling/integration bugs."""
+
+    def test_endpoint_inclusion_1hz_multi_hour(self):
+        m = PowerMeter(1.0)
+        times = m.sample_times(0.0, 10 * 3600.0)
+        assert len(times) == 36001
+        assert times[-1] == pytest.approx(36000.0, abs=1e-9)
+        assert np.all(np.diff(times) > 0)
+
+    def test_endpoint_inclusion_2hz_multi_hour(self):
+        m = PowerMeter(2.0)
+        times = m.sample_times(0.0, 3 * 3600.0)
+        assert len(times) == 21601
+        assert times[-1] == pytest.approx(10800.0, abs=1e-9)
+        # every tick exactly on the half-second grid (no drift)
+        assert np.allclose(times * 2, np.round(times * 2), atol=1e-9)
+
+    def test_non_integer_rate_never_overshoots(self):
+        m = PowerMeter(0.3)
+        t1 = 7 * 3600.0
+        times = m.sample_times(0.0, t1)
+        assert times[-1] <= t1 + 1e-9
+        assert len(times) == int(np.floor(t1 * 0.3 + 1e-9)) + 1
+        assert np.all(np.diff(times) > 0)
+
+    def test_sample_covers_profile_endpoint(self):
+        p = PhasePowerProfile()
+        p.add_phase("train", 0.0, 7200.0, 100.0)
+        samples = PowerMeter(1.0).sample(p)
+        assert len(samples) == 7201
+        assert samples[-1].time_s == pytest.approx(7200.0)
+        assert samples[-1].power_w == pytest.approx(100.0)
