@@ -12,6 +12,11 @@ al., ICPP 2019) depends on:
   ``low_memory=False`` path.
 - :mod:`repro.mpi` — an in-process SPMD MPI runtime with real collective
   algorithms (the paper uses MPI/NCCL through Horovod).
+- :mod:`repro.comms` — the collective engine: ring, recursive
+  halving-doubling, and two-level hierarchical allreduce schedules with
+  optional fp16/top-k compression, planned once and shared by the
+  functional runtime and the simulator, configured by one
+  ``CollectiveOptions`` object.
 - :mod:`repro.hvd` — a Horovod reimplementation: DistributedOptimizer,
   initial-weight broadcast, tensor fusion, Chrome-trace timelines.
 - :mod:`repro.cluster` — machine models of Summit and Theta, including
@@ -44,6 +49,7 @@ __all__ = [
     "nn",
     "frame",
     "mpi",
+    "comms",
     "hvd",
     "cluster",
     "candle",

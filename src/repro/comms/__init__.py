@@ -1,0 +1,46 @@
+"""repro.comms: the collective communication engine.
+
+Collectives are *planned* (``plan_allreduce`` et al. turn message size +
+topology + :class:`CollectiveOptions` into an inspectable
+:class:`CollectiveSchedule`) and then either *executed* by the
+rank-local :class:`CollectiveEngine` over real point-to-point messages,
+or *priced* by the simulator's fabric cost model. One options object
+threads from :class:`repro.hvd.DistributedOptimizer` down to the wire;
+non-compressed schedules are bit-identical to the flat reference
+allreduce (see :mod:`repro.comms.engine` for the contract).
+"""
+
+from repro.comms.compression import TopKCompressor, fp16_encode
+from repro.comms.engine import CollectiveEngine
+from repro.comms.options import (
+    ALGORITHMS,
+    COMPRESSIONS,
+    DEFAULT_OPTIONS,
+    CollectiveOptions,
+    select_algorithm,
+)
+from repro.comms.plan import (
+    CollectiveSchedule,
+    PlanStep,
+    plan_allgather,
+    plan_allreduce,
+    plan_broadcast,
+)
+from repro.comms.topology import Topology
+
+__all__ = [
+    "ALGORITHMS",
+    "COMPRESSIONS",
+    "DEFAULT_OPTIONS",
+    "CollectiveEngine",
+    "CollectiveOptions",
+    "CollectiveSchedule",
+    "PlanStep",
+    "Topology",
+    "TopKCompressor",
+    "fp16_encode",
+    "plan_allgather",
+    "plan_allreduce",
+    "plan_broadcast",
+    "select_algorithm",
+]

@@ -1,0 +1,102 @@
+"""Gradient compression: fp16 wire format and top-k with error feedback.
+
+Two standard lossy schemes from the distributed-training literature
+(Huber et al. show comms strategy directly moves the energy numbers this
+repro reports; compression is the bluntest such lever):
+
+- **fp16** — each rank casts its contribution to half precision before
+  transport; the reduction itself runs in float64, so the only loss is
+  the one quantization of each input. Deterministic, ~2x wire saving on
+  float32 gradients, 4x on the float64 arena slabs.
+- **top-k + error feedback** — each rank sends only the ``k`` largest-
+  magnitude entries of (gradient + residual) as (index, value) pairs and
+  *keeps the rest as residual* for the next step. Error feedback is what
+  makes the scheme converge: nothing is dropped, only delayed.
+
+Compressors are per-rank objects (residual state is rank-local, like the
+optimizer state it rides next to).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["fp16_encode", "TopKCompressor", "TopKPayload"]
+
+
+def fp16_encode(segment: np.ndarray) -> np.ndarray:
+    """Half-precision wire form of one contribution segment."""
+    return np.asarray(segment, dtype=np.float16)
+
+
+#: (indices, values, length) of one rank's sparse contribution
+TopKPayload = Tuple[np.ndarray, np.ndarray, int]
+
+
+class TopKCompressor:
+    """Top-k sparsification with per-tensor error-feedback residuals."""
+
+    def __init__(self, ratio: float, error_feedback: bool = True):
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        self.ratio = float(ratio)
+        self.error_feedback = bool(error_feedback)
+        self._residuals: Dict[str, np.ndarray] = {}
+
+    def compress(self, name: str, flat: np.ndarray) -> TopKPayload:
+        """Sparsify ``flat`` (1-D float64); update the residual for ``name``.
+
+        Returns rank-local (sorted indices, values, full length). The
+        residual absorbs everything not selected, so over steps the full
+        gradient mass is eventually transmitted.
+        """
+        if flat.ndim != 1:
+            raise ValueError("compress expects a flattened gradient")
+        carry = flat
+        if self.error_feedback:
+            residual = self._residuals.get(name)
+            if residual is not None and residual.size == flat.size:
+                carry = flat + residual
+        k = max(1, int(round(self.ratio * carry.size)))
+        if k >= carry.size:
+            indices = np.arange(carry.size, dtype=np.int64)
+        else:
+            indices = np.argpartition(np.abs(carry), carry.size - k)[-k:]
+            indices = np.sort(indices).astype(np.int64)
+        values = carry[indices].copy()
+        if self.error_feedback:
+            residual = carry.copy()
+            residual[indices] = 0.0
+            self._residuals[name] = residual
+        return indices, values, carry.size
+
+    @staticmethod
+    def densify(payloads, length: int, op: str, world: int) -> np.ndarray:
+        """Combine rank-ordered sparse payloads into a dense result.
+
+        Contributions accumulate in ascending rank order (the engine's
+        canonical-arithmetic rule), so every rank materializes the same
+        bits.
+        """
+        if op not in ("sum", "mean"):
+            raise ValueError(
+                f"top-k compression supports sum/mean, got {op!r}"
+            )
+        dense = np.zeros(length, dtype=np.float64)
+        for indices, values, _ in payloads:
+            np.add.at(dense, indices, values)
+        if op == "mean":
+            dense /= world
+        return dense
+
+    @staticmethod
+    def payload_nbytes(payload: TopKPayload) -> int:
+        indices, values, _ = payload
+        return int(indices.nbytes + values.nbytes)
+
+    def residual_norm(self, name: str) -> float:
+        """L2 mass currently parked in ``name``'s residual (0 if none)."""
+        residual = self._residuals.get(name)
+        return float(np.linalg.norm(residual)) if residual is not None else 0.0

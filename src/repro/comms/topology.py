@@ -1,0 +1,96 @@
+"""Machine topology as the collective planner sees it.
+
+Two numbers decide every schedule: the world size and the number of
+ranks per node (Summit: 6 V100s behind NVLink; Theta: 1 KNL per node).
+A :class:`Topology` derives the rest — node membership, the intra-node
+groups a hierarchical reduction scatters over, and the cross-node
+"rails" (ranks sharing a local index) that ring slices over the
+fat-tree/dragonfly — from those two numbers, so the same object serves
+the functional engine (built from a communicator) and the simulator
+(built from a :class:`~repro.cluster.machine.MachineSpec`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["Topology"]
+
+
+@dataclass(frozen=True)
+class Topology:
+    """World/node geometry of one run."""
+
+    world: int
+    local_size: int = 1
+
+    def __post_init__(self):
+        if self.world <= 0:
+            raise ValueError(f"world must be positive, got {self.world}")
+        if self.local_size <= 0:
+            raise ValueError(
+                f"local_size must be positive, got {self.local_size}"
+            )
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def from_communicator(cls, comm) -> "Topology":
+        """Topology of a live :class:`repro.mpi.Communicator` world."""
+        return cls(world=comm.size, local_size=min(comm.size, comm.local_size))
+
+    @classmethod
+    def from_machine(cls, machine, nworkers: int) -> "Topology":
+        """Topology of ``nworkers`` ranks packed onto a machine preset."""
+        return cls(
+            world=nworkers, local_size=min(nworkers, machine.workers_per_node)
+        )
+
+    # -- derived geometry ---------------------------------------------------
+    @property
+    def nnodes(self) -> int:
+        """Node count (ceiling division — the last node may be partial)."""
+        return -(-self.world // self.local_size)
+
+    @property
+    def uniform(self) -> bool:
+        """True when every node hosts the same number of ranks.
+
+        Hierarchical schedules require this: the intra-node scatter
+        slices the buffer by local index, and misaligned node sizes
+        would misalign the inter-node rails.
+        """
+        return self.world <= self.local_size or self.world % self.local_size == 0
+
+    def node_of(self, rank: int) -> int:
+        """Which node hosts ``rank``."""
+        self._check(rank)
+        return rank // self.local_size
+
+    def local_index(self, rank: int) -> int:
+        """``rank``'s index within its node (hvd.local_rank)."""
+        self._check(rank)
+        return rank % self.local_size
+
+    def node_ranks(self, rank: int) -> List[int]:
+        """All ranks on ``rank``'s node, ascending (the NVLink island)."""
+        node = self.node_of(rank)
+        lo = node * self.local_size
+        return list(range(lo, min(lo + self.local_size, self.world)))
+
+    def rail_ranks(self, rank: int) -> List[int]:
+        """Ranks sharing ``rank``'s local index, one per node, ascending.
+
+        The inter-node ring of a hierarchical reduction runs along this
+        rail: each local index reduces its own buffer slice across the
+        fabric in parallel with its five siblings.
+        """
+        li = self.local_index(rank)
+        return [
+            r
+            for r in range(li, self.world, self.local_size)
+        ]
+
+    def _check(self, rank: int) -> None:
+        if not 0 <= rank < self.world:
+            raise ValueError(f"rank {rank} out of range [0, {self.world})")

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro import hvd
 from repro.candle.base import CandleBenchmark, LoadedData
+from repro.comms import CollectiveOptions
 from repro.cluster.filesystem import IoSkewModel
 from repro.core.scaling import ScalingPlan
 from repro.ingest import LoaderConfig, as_config, load_benchmark_data
@@ -125,6 +126,7 @@ def run_parallel_benchmark(
     validation: bool = False,
     arena: bool = True,
     tracer: Optional[Tracer] = None,
+    collective: "Optional[CollectiveOptions]" = None,
 ) -> ParallelRunResult:
     """Run one benchmark under one scaling plan, functionally.
 
@@ -150,6 +152,11 @@ def run_parallel_benchmark(
     ``tracer`` (created fresh when not supplied, returned on the
     result), so the run yields a joint Chrome-trace/metrics view on top
     of the per-rank timings.
+
+    ``collective`` is an optional :class:`repro.comms.CollectiveOptions`
+    governing every gradient and metric reduction in the run (algorithm,
+    compression, fusion size, chunking); None uses the engine's
+    automatic, bit-identical defaults.
     """
     if data is None and data_paths is None:
         data = benchmark.synth_arrays(np.random.default_rng(seed))
@@ -164,7 +171,7 @@ def run_parallel_benchmark(
     )
 
     def worker(comm):
-        hvd.init(comm, timeline=timeline, tracer=tracer)
+        hvd.init(comm, timeline=timeline, tracer=tracer, options=collective)
         try:
             # ---- phase 1: data loading & preprocessing -------------------
             with tracer.span("load", rank=comm.rank) as sp_load:
@@ -191,7 +198,9 @@ def run_parallel_benchmark(
                     model.detach_arena()
                 base_opt = get_optimizer(benchmark.spec.optimizer, lr=plan.learning_rate)
                 model.compile(
-                    hvd.DistributedOptimizer(base_opt), loss_name, metrics=metric_names
+                    hvd.DistributedOptimizer(base_opt, options=collective),
+                    loss_name,
+                    metrics=metric_names,
                 )
                 callbacks = [hvd.BroadcastGlobalVariablesCallback(0)]
                 x_train = local.x_train

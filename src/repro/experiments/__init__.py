@@ -37,6 +37,16 @@ training runs; ``fast=False`` runs the full grids the benchmark harness
 uses to regenerate EXPERIMENTS.md.
 """
 
-from repro.experiments.base import ExperimentResult, list_experiments, run_experiment
+from repro.experiments.base import (
+    ExperimentConfig,
+    ExperimentResult,
+    list_experiments,
+    run_experiment,
+)
 
-__all__ = ["ExperimentResult", "run_experiment", "list_experiments"]
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+    "list_experiments",
+]

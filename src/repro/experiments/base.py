@@ -1,14 +1,32 @@
-"""Experiment result container and registry."""
+"""Experiment result container, typed run configuration, and registry.
+
+Experiments are invoked by id through :func:`run_experiment`. The knobs
+every experiment understands — ``fast``, ``seed``, ``machine``,
+``nworkers``, ``method``, ``collective`` — live on one typed
+:class:`ExperimentConfig`; experiment-specific parameters ride in its
+``extra`` mapping. Experiment modules that accept ``config=`` get the
+object directly; older modules keep their flat keyword signatures and
+the dispatcher splats the config back into them, so both calling styles
+(``run_experiment("fig7", config=cfg)`` and the historical
+``run_experiment("fig7", fast=True, nworkers=384)``) reach every
+experiment.
+"""
 
 from __future__ import annotations
 
 import importlib
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Sequence
+import inspect
+from dataclasses import dataclass, field, fields
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.analysis.report import format_table
 
-__all__ = ["ExperimentResult", "run_experiment", "list_experiments"]
+__all__ = [
+    "ExperimentResult",
+    "ExperimentConfig",
+    "run_experiment",
+    "list_experiments",
+]
 
 
 @dataclass
@@ -52,6 +70,50 @@ class ExperimentResult:
         if self.notes:
             parts.append(f"notes: {self.notes}")
         return "\n\n".join(parts)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Typed configuration shared by every experiment.
+
+    ``None`` means "use the experiment's own default" for that knob —
+    the dispatcher only forwards explicitly-set values, so experiments
+    keep their per-figure defaults (e.g. fig7's 384 workers).
+    """
+
+    fast: bool = True
+    seed: Optional[int] = None
+    machine: Optional[str] = None
+    nworkers: Optional[int] = None
+    method: Optional[str] = None
+    #: a :class:`repro.comms.CollectiveOptions` for runs that reduce
+    collective: Optional[Any] = None
+    #: experiment-specific keywords, forwarded verbatim
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+    _KNOWN = ("fast", "seed", "machine", "nworkers", "method", "collective")
+
+    @classmethod
+    def from_kwargs(cls, fast: bool = True, **kwargs) -> "ExperimentConfig":
+        """Build a config from a flat keyword dict (the legacy style)."""
+        known = {k: kwargs.pop(k) for k in cls._KNOWN[1:] if k in kwargs}
+        return cls(fast=fast, extra=dict(kwargs), **known)
+
+    def legacy_kwargs(self) -> Dict[str, Any]:
+        """The flat keyword form: set knobs + extras, ``fast`` excluded."""
+        out = {
+            name: getattr(self, name)
+            for name in self._KNOWN[1:]
+            if getattr(self, name) is not None
+        }
+        out.update(self.extra)
+        return out
+
+    def evolve(self, **changes) -> "ExperimentConfig":
+        """A copy with the given fields replaced."""
+        current = {f.name: getattr(self, f.name) for f in fields(self)}
+        current.update(changes)
+        return ExperimentConfig(**current)
 
 
 _REGISTRY: Dict[str, str] = {
@@ -98,17 +160,39 @@ def list_experiments() -> List[str]:
     return list(_REGISTRY)
 
 
-def run_experiment(experiment_id: str, fast: bool = True, **kwargs) -> ExperimentResult:
-    """Run one experiment by id (e.g. 'fig6', 'table3')."""
+def run_experiment(
+    experiment_id: str,
+    fast: bool = True,
+    *,
+    config: Optional[ExperimentConfig] = None,
+    **kwargs,
+) -> ExperimentResult:
+    """Run one experiment by id (e.g. 'fig6', 'table3').
+
+    Pass either a typed ``config=`` or the historical flat keywords
+    (``nworkers=384, method="sharded"``); flat keywords are folded into
+    an :class:`ExperimentConfig` and both styles dispatch identically.
+    Experiments whose ``run`` accepts ``config`` receive the object;
+    the rest receive the equivalent flat keywords.
+    """
     try:
         module_name = _REGISTRY[experiment_id]
     except KeyError:
         raise ValueError(
             f"unknown experiment {experiment_id!r}; known: {list(_REGISTRY)}"
         ) from None
+    if config is not None and kwargs:
+        raise TypeError(
+            "pass either config= or flat keyword arguments, not both"
+        )
+    if config is None:
+        config = ExperimentConfig.from_kwargs(fast=fast, **kwargs)
     if ":" in module_name:
         module_name, fn_name = module_name.split(":", 1)
     else:
         fn_name = "run"
     module = importlib.import_module(module_name)
-    return getattr(module, fn_name)(fast=fast, **kwargs)
+    fn = getattr(module, fn_name)
+    if "config" in inspect.signature(fn).parameters:
+        return fn(config=config)
+    return fn(fast=config.fast, **config.legacy_kwargs())

@@ -20,8 +20,14 @@ Horovod's public surface, as the paper's methodology (§2.3.2) uses it:
 Because ranks are threads, the module-level state is thread-local: each
 rank thread calls ``init(comm)`` with its own communicator and sees its
 own rank identity, exactly like per-process Horovod.
+
+Collective transport — algorithm, compression, chunking, fusion size —
+is configured by one :class:`repro.comms.CollectiveOptions` (re-exported
+here) passed to ``init`` or ``DistributedOptimizer`` and threaded down
+to the engine unchanged.
 """
 
+from repro.comms import CollectiveOptions
 from repro.hvd.callbacks import (
     BroadcastGlobalVariablesCallback,
     CheckpointCallback,
@@ -35,9 +41,11 @@ from repro.hvd.fusion import DEFAULT_FUSION_BYTES, FusionBuffer
 from repro.hvd.optimizer import DistributedOptimizer
 from repro.hvd.ops import allgather, allreduce, broadcast, broadcast_weights
 from repro.hvd.runtime import (
+    engine,
     init,
     is_initialized,
     local_rank,
+    options,
     rank,
     shutdown,
     size,
@@ -55,6 +63,9 @@ __all__ = [
     "local_rank",
     "timeline",
     "tracer",
+    "engine",
+    "options",
+    "CollectiveOptions",
     "allreduce",
     "allgather",
     "broadcast",

@@ -58,8 +58,15 @@ class MetricAverageCallback(Callback):
 
     Rewrites each epoch's logs in place with the allreduce mean, so
     every rank reports the same global metric — used when ranks train
-    on different shards and a single curve is wanted.
+    on different shards and a single curve is wanted. ``options``
+    overrides the run-level :class:`~repro.comms.CollectiveOptions` for
+    the metric reduction (metrics are tiny — never compress them along
+    with the gradients).
     """
+
+    def __init__(self, options=None):
+        super().__init__()
+        self.options = options
 
     def on_epoch_end(self, epoch, logs=None):
         if logs is None or _rt.size() == 1:
@@ -68,7 +75,9 @@ class MetricAverageCallback(Callback):
         import numpy as np
 
         vec = np.array([float(logs[k]) for k in keys])
-        avg = _ops.allreduce(vec, op="mean", name="epoch_metrics")
+        avg = _ops.allreduce(
+            vec, op="mean", name="epoch_metrics", options=self.options
+        )
         for key, value in zip(keys, avg):
             logs[key] = float(value)
 

@@ -38,6 +38,16 @@ class FusionBuffer:
         self.capacity_bytes = int(capacity_bytes)
         self._buffers: Dict[np.dtype, np.ndarray] = {}
 
+    @classmethod
+    def from_options(cls, options=None) -> "FusionBuffer":
+        """Buffer sized by a :class:`repro.comms.CollectiveOptions`.
+
+        ``options=None`` gives the Horovod default capacity, keeping the
+        optimizer's no-argument construction path working unchanged.
+        """
+        capacity = DEFAULT_FUSION_BYTES if options is None else options.fusion_bytes
+        return cls(capacity)
+
     def plan(self, tensors: Dict[str, np.ndarray]) -> List[List[str]]:
         """Greedy first-fit packing of tensor names into fusion groups.
 

@@ -10,26 +10,53 @@ Every op records the paper's timeline event structure:
 - the data-movement phase (``mpi_broadcast`` inside ``broadcast``, or
   ``nccl_allreduce`` inside ``allreduce``), which is the tree/ring
   algorithm actually moving buffers.
+
+Array allreduces route through the rank's
+:class:`~repro.comms.CollectiveEngine`, which resolves the transport
+algorithm (ring / recursive halving-doubling / hierarchical / flat) from
+the run's :class:`~repro.comms.CollectiveOptions` and the machine
+topology. Non-compressed schedules are bit-identical to the flat
+reference path, so this routing is numerically invisible.
+
+All signatures are keyword-only past the payload (``op=``, ``root=``,
+``name=``, ``options=``); the historical positional forms still work but
+raise :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any, Optional, Sequence
+import warnings
+from typing import Any, Optional
 
 import numpy as np
 
 from repro.hvd import runtime as _rt
+from repro.mpi.communicator import payload_nbytes as _nbytes
 
 __all__ = ["allreduce", "broadcast", "allgather", "broadcast_weights"]
 
 
-def _nbytes(obj: Any) -> int:
-    if isinstance(obj, np.ndarray):
-        return obj.nbytes
-    if isinstance(obj, (list, tuple)):
-        return sum(_nbytes(o) for o in obj)
-    return 64
+def _legacy_positional(fn_name: str, legacy: tuple, params: tuple, values: dict):
+    """Apply deprecated positional arguments onto keyword-only params."""
+    if not legacy:
+        return values
+    if len(legacy) > len(params):
+        raise TypeError(
+            f"{fn_name}() takes at most {len(params)} positional option "
+            f"argument(s) ({', '.join(params)}), got {len(legacy)}"
+        )
+    shown = ", ".join(params[: len(legacy)])
+    warnings.warn(
+        f"passing {shown} positionally to {fn_name}() is deprecated; "
+        f"use keyword arguments ({fn_name}(..., {params[0]}=...))",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    out = dict(values)
+    for param, value in zip(params, legacy):
+        out[param] = value
+    return out
 
 
 def _trace(name: str, category: str, rank: int, start_s: float, duration_s: float, **attrs) -> None:
@@ -47,24 +74,44 @@ def _trace(name: str, category: str, rank: int, start_s: float, duration_s: floa
         )
 
 
-def allreduce(tensor: np.ndarray, op: str = "mean", name: Optional[str] = None) -> np.ndarray:
+def allreduce(
+    tensor: np.ndarray,
+    *legacy,
+    op: str = "mean",
+    name: Optional[str] = None,
+    options=None,
+) -> np.ndarray:
     """Average (or sum/max/min) a tensor across all ranks.
 
     Records ``negotiate_allreduce`` (rendezvous wait), ``allreduce``
-    (the whole op), and ``nccl_allreduce`` (the ring data movement).
+    (the whole op), and ``nccl_allreduce`` (the data movement, tagged
+    with the resolved algorithm). ``options`` overrides the run-level
+    :class:`~repro.comms.CollectiveOptions` for this one call.
     """
+    resolved = _legacy_positional(
+        "allreduce", legacy, ("op", "name"), {"op": op, "name": name}
+    )
+    op, name = resolved["op"], resolved["name"]
     comm = _rt.comm()
     tl = _rt.timeline()
     tag = name or "tensor"
     t_enter = time.perf_counter()
     comm.barrier()  # rendezvous: every rank ready to reduce
     t_ready = time.perf_counter()
-    result = comm.allreduce(tensor, op=op)
+    if isinstance(tensor, np.ndarray) and tensor.size >= comm.size:
+        eng = _rt.engine()
+        result = eng.allreduce(tensor, op=op, name=tag, options=options)
+        algorithm = eng.last_info.get("algorithm", "flat")
+    else:
+        # scalars and sub-world arrays take the communicator's tree path
+        result = comm.allreduce(tensor, op=op)
+        algorithm = "flat"
     t_done = time.perf_counter()
     nbytes = _nbytes(tensor)
     tl.record("negotiate_allreduce", comm.rank, t_enter, t_ready - t_enter, tensor=tag)
     tl.record(
-        "allreduce", comm.rank, t_ready, t_done - t_ready, tensor=tag, bytes=nbytes
+        "allreduce", comm.rank, t_ready, t_done - t_ready, tensor=tag,
+        bytes=nbytes, algorithm=algorithm,
     )
     tl.record("nccl_allreduce", comm.rank, t_ready, t_done - t_ready, tensor=tag)
     _trace(
@@ -73,18 +120,32 @@ def allreduce(tensor: np.ndarray, op: str = "mean", name: Optional[str] = None) 
     )
     _trace(
         "allreduce", "allreduce", comm.rank, t_ready, t_done - t_ready,
-        tensor=tag, bytes=nbytes,
+        tensor=tag, bytes=nbytes, algorithm=algorithm,
     )
     return result
 
 
-def broadcast(obj: Any, root: int = 0, name: Optional[str] = None) -> Any:
+def broadcast(
+    obj: Any,
+    *legacy,
+    root: int = 0,
+    name: Optional[str] = None,
+    options=None,
+) -> Any:
     """Broadcast any object from ``root``; returns it on every rank.
 
     Records ``negotiate_broadcast`` (rendezvous wait — dominated by
     data-loading skew in the unoptimized benchmarks), ``broadcast``, and
-    ``mpi_broadcast`` (the binomial-tree movement).
+    ``mpi_broadcast`` (the binomial-tree movement). ``options`` is
+    accepted for signature uniformity; the functional tree broadcast has
+    no algorithm variants (the simulator prices hierarchical vs flat via
+    :func:`repro.comms.plan_broadcast`).
     """
+    resolved = _legacy_positional(
+        "broadcast", legacy, ("root", "name"), {"root": root, "name": name}
+    )
+    root, name = resolved["root"], resolved["name"]
+    del options  # no functional variants; see docstring
     comm = _rt.comm()
     tl = _rt.timeline()
     tag = name or "object"
@@ -110,8 +171,11 @@ def broadcast(obj: Any, root: int = 0, name: Optional[str] = None) -> Any:
     return result
 
 
-def allgather(obj: Any, name: Optional[str] = None) -> list:
+def allgather(obj: Any, *legacy, name: Optional[str] = None, options=None) -> list:
     """Gather one object per rank, everywhere (rank-ordered)."""
+    resolved = _legacy_positional("allgather", legacy, ("name",), {"name": name})
+    name = resolved["name"]
+    del options  # ring is the only allgather transport
     comm = _rt.comm()
     tl = _rt.timeline()
     t_enter = time.perf_counter()
@@ -132,13 +196,17 @@ def allgather(obj: Any, name: Optional[str] = None) -> list:
     return result
 
 
-def broadcast_weights(target, root: int = 0) -> None:
+def broadcast_weights(target, *legacy, root: int = 0) -> None:
     """Broadcast model weights from ``root`` and install them in place.
 
     ``target`` is a :class:`repro.nn.Sequential` or a name→array dict.
     In-place installation preserves optimizer-state identity — the same
     property Horovod's broadcast hook relies on.
     """
+    resolved = _legacy_positional(
+        "broadcast_weights", legacy, ("root",), {"root": root}
+    )
+    root = resolved["root"]
     if hasattr(target, "named_parameters"):
         params = target.named_parameters()
     elif isinstance(target, dict):

@@ -7,19 +7,26 @@ averages gradients using the Allreduce, and then applies those averaged
 gradients."
 
 Gradients are fused per :class:`repro.hvd.fusion.FusionBuffer` before
-the ring allreduce, so each training step issues one (or a few) large
-reductions rather than one per layer.
+the allreduce, so each training step issues one (or a few) large
+reductions rather than one per layer. How those reductions travel —
+algorithm, compression, chunking, and the fusion capacity itself — is
+configured by one :class:`repro.comms.CollectiveOptions` passed as
+``options=`` and threaded down to the collective engine unchanged. The
+pre-engine ``fusion_bytes=`` keyword still works behind a
+:class:`DeprecationWarning` shim.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+import warnings
+from typing import Dict, Optional
 
 import numpy as np
 
+from repro.comms import CollectiveOptions
 from repro.hvd import ops as _ops
 from repro.hvd import runtime as _rt
-from repro.hvd.fusion import DEFAULT_FUSION_BYTES, FusionBuffer
+from repro.hvd.fusion import FusionBuffer
 from repro.nn.optimizers import Optimizer
 
 __all__ = ["DistributedOptimizer"]
@@ -28,12 +35,38 @@ __all__ = ["DistributedOptimizer"]
 class DistributedOptimizer(Optimizer):
     """Wraps a base optimizer; averages gradients over ranks first."""
 
-    def __init__(self, base: Optimizer, fusion_bytes: int = DEFAULT_FUSION_BYTES):
+    def __init__(
+        self,
+        base: Optimizer,
+        *legacy,
+        options: Optional[CollectiveOptions] = None,
+        fusion_bytes: Optional[int] = None,
+    ):
         if not isinstance(base, Optimizer):
             raise TypeError(f"expected an Optimizer, got {type(base)!r}")
+        if legacy:
+            if len(legacy) > 1:
+                raise TypeError(
+                    f"DistributedOptimizer takes at most one positional "
+                    f"option (fusion_bytes), got {len(legacy)}"
+                )
+            fusion_bytes = legacy[0]
+        if fusion_bytes is not None:
+            warnings.warn(
+                "DistributedOptimizer(fusion_bytes=...) is deprecated; pass "
+                "options=CollectiveOptions(fusion_bytes=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if options is not None:
+                raise TypeError(
+                    "pass either options= or the deprecated fusion_bytes=, not both"
+                )
+            options = CollectiveOptions(fusion_bytes=int(fusion_bytes))
         # Deliberately no super().__init__: lr/decay/state all proxy to base.
         self.base = base
-        self.fusion = FusionBuffer(fusion_bytes)
+        self.options = options  # None = run-level options / engine defaults
+        self.fusion = FusionBuffer.from_options(options)
         self.allreduce_count = 0
 
     # -- learning-rate proxying (LR scaling must reach the base) -----------
@@ -65,7 +98,9 @@ class DistributedOptimizer(Optimizer):
         averaged: Dict[str, np.ndarray] = {}
         for group in self.fusion.plan(grads):
             fused = self.fusion.pack(grads, group)
-            reduced = _ops.allreduce(fused, op="mean", name="+".join(group))
+            reduced = _ops.allreduce(
+                fused, op="mean", name="+".join(group), options=self.options
+            )
             self.allreduce_count += 1
             averaged.update(FusionBuffer.unpack(reduced, grads, group))
         return averaged
@@ -87,7 +122,9 @@ class DistributedOptimizer(Optimizer):
             return
         for start, stop, names in arena.fusion_groups(self.fusion.capacity_bytes):
             view = arena.grads_flat[start:stop]
-            reduced = _ops.allreduce(view, op="mean", name="+".join(names))
+            reduced = _ops.allreduce(
+                view, op="mean", name="+".join(names), options=self.options
+            )
             self.allreduce_count += 1
             np.copyto(view, reduced)
 

@@ -26,6 +26,8 @@ __all__ = [
     "comm",
     "timeline",
     "tracer",
+    "engine",
+    "options",
     "clock",
 ]
 
@@ -33,10 +35,14 @@ _tls = threading.local()
 
 
 class _HvdState:
-    def __init__(self, communicator: Communicator, tl: Optional[Timeline], tr):
+    def __init__(
+        self, communicator: Communicator, tl: Optional[Timeline], tr, opts=None
+    ):
         self.comm = communicator
         self.timeline = tl if tl is not None else Timeline(origin_s=time.perf_counter())
         self.tracer = tr
+        self.options = opts
+        self.engine = None  # CollectiveEngine, built lazily on first use
         self.t0 = time.perf_counter()
 
 
@@ -44,6 +50,7 @@ def init(
     communicator: Optional[Communicator] = None,
     timeline: Optional[Timeline] = None,
     tracer=None,
+    options=None,
 ) -> None:
     """Initialize Horovod for the calling rank thread.
 
@@ -53,7 +60,9 @@ def init(
     collective ops record spans into alongside the timeline; when
     omitted, the process-wide active tracer (if any) is adopted, so a
     run activated via :func:`repro.telemetry.tracing` sees its rank
-    threads automatically.
+    threads automatically. ``options`` is an optional
+    :class:`repro.comms.CollectiveOptions` applied to every collective
+    this rank issues; None uses the engine's automatic defaults.
     """
     if getattr(_tls, "state", None) is not None:
         raise RuntimeError("hvd.init() called twice on this rank; call shutdown() first")
@@ -63,7 +72,7 @@ def init(
         from repro.telemetry import runtime as _telemetry_rt
 
         tracer = _telemetry_rt.active_tracer()
-    _tls.state = _HvdState(communicator, timeline, tracer)
+    _tls.state = _HvdState(communicator, timeline, tracer, options)
 
 
 def shutdown() -> None:
@@ -114,6 +123,30 @@ def timeline() -> Timeline:
 def tracer():
     """This rank's bound telemetry tracer, or None when untraced."""
     return _state().tracer
+
+
+def engine():
+    """This rank's collective engine (built lazily on first use).
+
+    The engine binds the rank's communicator, its run-level
+    :class:`~repro.comms.CollectiveOptions` (if any), and a live view of
+    the tracer, so per-chunk spans follow tracer rebinding.
+    """
+    state = _state()
+    if state.engine is None:
+        from repro.comms import CollectiveEngine
+
+        state.engine = CollectiveEngine(
+            state.comm,
+            options=state.options,
+            tracer=lambda: state.tracer,
+        )
+    return state.engine
+
+
+def options():
+    """The run-level CollectiveOptions, or None for engine defaults."""
+    return _state().options
 
 
 def clock() -> float:

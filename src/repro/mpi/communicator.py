@@ -26,7 +26,14 @@ from typing import Any, Callable, Optional
 
 import numpy as np
 
-__all__ = ["Communicator", "Request", "DeadlockError", "AbortError"]
+__all__ = [
+    "Communicator",
+    "Request",
+    "DeadlockError",
+    "AbortError",
+    "canonical_reduce",
+    "payload_nbytes",
+]
 
 #: Seconds a blocking recv/barrier waits before declaring deadlock.
 DEFAULT_TIMEOUT = 120.0
@@ -96,12 +103,32 @@ class _Context:
             ) from None
 
 
-def _payload_bytes(obj: Any) -> int:
+def payload_nbytes(obj: Any) -> int:
+    """Wire-size estimate of a payload, nested containers included.
+
+    Arrays and byte strings report their true size; lists, tuples, sets
+    and dicts are summed recursively (a fused-gradient parcel is a dict
+    of arrays — counting it as 64 bytes undercounted the timeline's
+    traffic attribution); plain numbers charge one word. Opaque objects
+    keep the historical 64-byte control-message estimate.
+    """
     if isinstance(obj, np.ndarray):
-        return obj.nbytes
+        return int(obj.nbytes)
     if isinstance(obj, (bytes, bytearray, str)):
         return len(obj)
-    return 64  # flat estimate for small control objects
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return sum(payload_nbytes(v) for v in obj) or 8
+    if isinstance(obj, dict):
+        return (
+            sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items())
+            or 8
+        )
+    if isinstance(obj, (bool, int, float, complex, np.generic)):
+        return 8
+    return 64  # flat estimate for opaque control objects
+
+
+_payload_bytes = payload_nbytes
 
 
 class Request:
@@ -307,49 +334,56 @@ class Communicator:
         gathered = self.gather(value, root=root)
         if self.rank != root:
             return None
-        return _combine(gathered, op)
+        return canonical_reduce(gathered, op)
 
     # -- ring allreduce ---------------------------------------------------------
     def _ring_allreduce(self, array: np.ndarray, op: str) -> np.ndarray:
         """Bandwidth-optimal ring: reduce-scatter then allgather.
 
-        The array is split into ``size`` chunks; each of the 2(p-1) steps
-        moves one chunk to the right neighbour. This is the algorithm
-        Horovod inherited from baidu-allreduce and that NCCL implements.
+        The array is split into ``size`` chunks moved right-neighbourward
+        over 2(p-1) steps — the message pattern Horovod inherited from
+        baidu-allreduce and that NCCL implements. The arithmetic is
+        *canonical*: per-source contributions travel unreduced and the
+        chunk owner combines them in ascending rank order with
+        :func:`canonical_reduce` — the same reduction the tree fallback
+        and every :mod:`repro.comms` schedule use — so the ring, the
+        tree, and the engine's ring/rhd/hierarchical algorithms all
+        produce bit-identical results despite float non-associativity.
         """
         p = self.size
         flat = np.ascontiguousarray(array, dtype=np.float64).reshape(-1)
         bounds = np.linspace(0, flat.size, p + 1).astype(np.int64)
-        chunks = [flat[bounds[i] : bounds[i + 1]].copy() for i in range(p)]
+        segs = [flat[bounds[i] : bounds[i + 1]] for i in range(p)]
         right = (self.rank + 1) % p
         left = (self.rank - 1) % p
 
-        # reduce-scatter: after p-1 steps, rank r owns the full reduction
-        # of chunk (r+1) % p
+        # reduce-scatter: after p-1 steps, rank r holds every rank's
+        # contribution to chunk (r+1) % p
         send_idx = self.rank
+        parcel = {self.rank: segs[send_idx]}
         for _ in range(p - 1):
-            self.send(chunks[send_idx], right, tag=-5)
+            self.send(parcel, right, tag=-5)
             recv_idx = (send_idx - 1) % p
-            incoming = self.recv(left, tag=-5)
-            _accumulate(chunks[recv_idx], incoming, op)
+            parcel = self.recv(left, tag=-5)
+            parcel[self.rank] = segs[recv_idx]
             send_idx = recv_idx
+        owned = (self.rank + 1) % p
+        combined = canonical_reduce([parcel[r] for r in sorted(parcel)], op)
 
-        # allgather: circulate the completed chunks
-        send_idx = (self.rank + 1) % p
+        # allgather: circulate the combined chunks
+        out = np.empty(flat.size, dtype=np.float64)
+        out[bounds[owned] : bounds[owned + 1]] = combined
+        carry = (owned, combined)
         for _ in range(p - 1):
-            self.send(chunks[send_idx], right, tag=-6)
-            recv_idx = (send_idx - 1) % p
-            chunks[recv_idx] = self.recv(left, tag=-6)
-            send_idx = recv_idx
-
-        out = np.concatenate(chunks).reshape(array.shape)
-        if op == "mean":
-            out /= p
-        return out.astype(array.dtype, copy=False)
+            self.send(carry, right, tag=-6)
+            carry = self.recv(left, tag=-6)
+            idx, segment = carry
+            out[bounds[idx] : bounds[idx + 1]] = segment
+        return out.reshape(array.shape).astype(array.dtype, copy=False)
 
     def _tree_allreduce(self, value: Any, op: str) -> Any:
         gathered = self.gather(value, root=0)
-        result = _combine(gathered, op) if self.rank == 0 else None
+        result = canonical_reduce(gathered, op) if self.rank == 0 else None
         return self.bcast(result, root=0)
 
     # -- guards --------------------------------------------------------------------
@@ -367,16 +401,16 @@ class Communicator:
         return f"<Communicator rank={self.rank}/{self.size}>"
 
 
-def _accumulate(target: np.ndarray, incoming: np.ndarray, op: str) -> None:
-    if op in ("sum", "mean"):
-        target += incoming
-    elif op == "max":
-        np.maximum(target, incoming, out=target)
-    else:
-        np.minimum(target, incoming, out=target)
+def canonical_reduce(values: list, op: str):
+    """The one reduction everything funnels through.
 
-
-def _combine(values: list, op: str):
+    Combines per-rank contributions (already ordered by ascending rank)
+    in float64. Every collective algorithm — the communicator's ring and
+    tree, the comms engine's ring, rhd, and hierarchical schedules —
+    moves contributions through its own message pattern but defers the
+    arithmetic to this routine, which is what makes their results
+    bit-identical to each other.
+    """
     if any(isinstance(v, np.ndarray) for v in values):
         stack = np.stack([np.asarray(v, dtype=np.float64) for v in values])
         if op == "sum":

@@ -89,6 +89,21 @@ class CollectiveCostModel:
         reduced = nbytes * (p - 1) / p
         return steps * alpha + moved * beta + reduced * self.fabric.reduce_gamma_s_per_b
 
+    def allreduce_rhd(self, nbytes: int, p: int) -> float:
+        """Recursive halving-doubling allreduce (MPICH's small-message
+        algorithm): ``2 ceil(log2 p)`` latency rounds instead of the
+        ring's ``2 (p-1)``, at the same ``2 n (p-1)/p`` bytes moved —
+        the win for latency-bound (small) messages on power-of-two
+        worlds.
+        """
+        if p <= 1:
+            return 0.0
+        alpha, beta = self.fabric.link(self._spans_nodes(p))
+        rounds = 2 * math.ceil(math.log2(p))
+        moved = 2.0 * nbytes * (p - 1) / p
+        reduced = nbytes * (p - 1) / p
+        return rounds * alpha + moved * beta + reduced * self.fabric.reduce_gamma_s_per_b
+
     def broadcast_tree(self, nbytes: int, p: int) -> float:
         """Binomial-tree broadcast of ``nbytes`` over ``p`` ranks."""
         if p <= 1:

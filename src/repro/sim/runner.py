@@ -21,8 +21,14 @@ import numpy as np
 from repro.candle.base import BenchmarkSpec
 from repro.candle.registry import get_benchmark
 from repro.cluster.machine import MachineSpec, get_machine
+from repro.comms import (
+    DEFAULT_OPTIONS,
+    CollectiveOptions,
+    Topology,
+    plan_allreduce,
+    plan_broadcast,
+)
 from repro.core.scaling import ScalingPlan
-from repro.hvd.fusion import DEFAULT_FUSION_BYTES
 from repro.mpi.network import CollectiveCostModel
 from repro.sim.computemodel import ComputeModel
 from repro.sim.engine import PhaseSimulator
@@ -41,6 +47,15 @@ class ScaledRunSimulator:
     ``overlap_fraction`` of each step's allreduce behind its backward
     pass. ``overlap=False`` is the naive synchronous schedule (an
     ablation target).
+
+    ``collective`` is the run's :class:`repro.comms.CollectiveOptions`:
+    gradient traffic is priced by planning each fused buffer with
+    :func:`repro.comms.plan_allreduce` on this machine's topology and
+    charging the schedule on its fabric — the same planner the
+    functional engine executes, so algorithm/compression/chunking
+    choices move simulated time too. The defaults resolve to the
+    hierarchical schedule and price identically to the pre-engine cost
+    model.
     """
 
     #: share of the backward pass a fused allreduce can hide behind;
@@ -51,11 +66,17 @@ class ScaledRunSimulator:
     #: (above it, bands merge per epoch to bound event counts)
     MAX_STEP_EVENTS = 256
 
-    def __init__(self, machine: Union[MachineSpec, str], overlap: bool = True):
+    def __init__(
+        self,
+        machine: Union[MachineSpec, str],
+        overlap: bool = True,
+        collective: Optional[CollectiveOptions] = None,
+    ):
         self.machine = get_machine(machine) if isinstance(machine, str) else machine
         self.io = IoModel(self.machine)
         self.compute = ComputeModel(self.machine)
         self.overlap = bool(overlap)
+        self.collective = collective if collective is not None else DEFAULT_OPTIONS
 
     def effective_step_comm_seconds(
         self, spec: BenchmarkSpec, nworkers: int, batch_size: int
@@ -78,26 +99,28 @@ class ScaledRunSimulator:
         )
 
     def allreduce_step_seconds(self, spec: BenchmarkSpec, nworkers: int) -> float:
-        """Per-step gradient allreduce: fused 64 MB ring operations."""
+        """Per-step gradient allreduce: planned fused-buffer schedules."""
         if nworkers <= 1:
             return 0.0
         cm = self._cost_model()
+        topo = Topology.from_machine(self.machine, nworkers)
+        opts = self.collective
         remaining = spec.gradient_bytes
         total = cm.negotiate(nworkers)
         while remaining > 0:
-            buf = min(remaining, DEFAULT_FUSION_BYTES)
-            total += cm.allreduce_hierarchical(buf, nworkers)
+            buf = min(remaining, opts.fusion_bytes)
+            total += plan_allreduce(buf, topo, opts).seconds(self.machine.fabric)
             remaining -= buf
         return total
 
     def broadcast_seconds(self, spec: BenchmarkSpec, nworkers: int) -> float:
-        """Initial weight broadcast (tree) plus coordinator negotiation."""
+        """Initial weight broadcast (planned tree) plus negotiation."""
         if nworkers <= 1:
             return 0.0
         cm = self._cost_model()
-        return cm.negotiate(nworkers) + cm.broadcast_hierarchical(
-            spec.gradient_bytes, nworkers
-        )
+        topo = Topology.from_machine(self.machine, nworkers)
+        schedule = plan_broadcast(spec.gradient_bytes, topo, self.collective)
+        return cm.negotiate(nworkers) + schedule.seconds(self.machine.fabric)
 
     # -- the run ------------------------------------------------------------------
     def run(
@@ -205,6 +228,9 @@ def simulate_run(
     plan: ScalingPlan,
     method: str = "original",
     seed: int = 0,
+    collective: Optional[CollectiveOptions] = None,
 ) -> SimRunReport:
     """One-shot convenience wrapper around :class:`ScaledRunSimulator`."""
-    return ScaledRunSimulator(machine).run(benchmark, plan, method=method, seed=seed)
+    return ScaledRunSimulator(machine, collective=collective).run(
+        benchmark, plan, method=method, seed=seed
+    )

@@ -1,0 +1,108 @@
+"""Compression: fp16 wire form, top-k error feedback, NT3 convergence."""
+
+import numpy as np
+import pytest
+
+from repro.comms import CollectiveOptions, TopKCompressor, fp16_encode
+
+
+class TestFp16:
+    def test_casts_to_half(self):
+        out = fp16_encode(np.array([1.0, 0.5, -3.25]))
+        assert out.dtype == np.float16
+        np.testing.assert_array_equal(out, [1.0, 0.5, -3.25])
+
+    def test_quantization_bounded(self):
+        x = np.random.default_rng(0).normal(size=1000)
+        err = np.abs(fp16_encode(x).astype(np.float64) - x)
+        assert np.all(err <= np.abs(x) * 1e-3 + 1e-7)
+
+
+class TestTopK:
+    def test_selects_largest_magnitudes(self):
+        comp = TopKCompressor(0.25, error_feedback=False)
+        flat = np.array([0.1, -5.0, 0.2, 3.0, -0.3, 0.01, 2.0, 0.0])
+        indices, values, length = comp.compress("g", flat)
+        assert length == 8
+        assert sorted(indices.tolist()) == indices.tolist()
+        assert set(indices.tolist()) == {1, 3}  # |-5| and |3|
+        np.testing.assert_array_equal(values, flat[indices])
+
+    def test_residual_holds_unsent_mass(self):
+        comp = TopKCompressor(0.25)
+        flat = np.array([0.1, -5.0, 0.2, 3.0, -0.3, 0.01, 2.0, 0.0])
+        indices, values, _ = comp.compress("g", flat)
+        sent = np.zeros_like(flat)
+        sent[indices] = values
+        expected_residual = np.linalg.norm(flat - sent)
+        assert comp.residual_norm("g") == pytest.approx(expected_residual)
+
+    def test_error_feedback_retransmits_everything(self):
+        """Over enough steps of a constant gradient, nothing is lost."""
+        comp = TopKCompressor(0.25)
+        flat = np.array([4.0, 3.0, 2.0, 1.0])
+        total = np.zeros(4)
+        steps = 8
+        for _ in range(steps):
+            indices, values, _ = comp.compress("g", flat)
+            np.add.at(total, indices, values)
+        # conservation: transmitted + parked-in-residual == everything seen
+        residual = comp._residuals["g"]
+        np.testing.assert_allclose(total + residual, steps * flat, atol=1e-12)
+        # and every coordinate eventually ships (none starved forever)
+        assert np.all(total > 0)
+
+    def test_no_error_feedback_drops_small_entries(self):
+        comp = TopKCompressor(0.25, error_feedback=False)
+        flat = np.array([4.0, 3.0, 2.0, 1.0])
+        for _ in range(3):
+            indices, _, _ = comp.compress("g", flat)
+            assert indices.tolist() == [0]
+        assert comp.residual_norm("g") == 0.0
+
+    def test_residuals_are_per_tensor(self):
+        comp = TopKCompressor(0.5)
+        comp.compress("a", np.array([1.0, 2.0]))
+        comp.compress("b", np.array([3.0, 4.0, 5.0, 6.0]))
+        assert comp.residual_norm("a") != comp.residual_norm("b")
+
+    def test_densify_mean_and_sum(self):
+        payloads = [
+            (np.array([0, 2]), np.array([1.0, 3.0]), 4),
+            (np.array([0, 1]), np.array([5.0, 7.0]), 4),
+        ]
+        summed = TopKCompressor.densify(payloads, 4, "sum", 2)
+        np.testing.assert_array_equal(summed, [6.0, 7.0, 3.0, 0.0])
+        mean = TopKCompressor.densify(payloads, 4, "mean", 2)
+        np.testing.assert_array_equal(mean, [3.0, 3.5, 1.5, 0.0])
+
+    def test_densify_rejects_non_linear_ops(self):
+        with pytest.raises(ValueError):
+            TopKCompressor.densify([], 4, "max", 2)
+
+    def test_payload_nbytes(self):
+        payload = (np.zeros(3, dtype=np.int64), np.zeros(3, dtype=np.float64), 10)
+        assert TopKCompressor.payload_nbytes(payload) == 3 * 8 + 3 * 8
+
+    def test_ratio_validation(self):
+        with pytest.raises(ValueError):
+            TopKCompressor(0.0)
+        with pytest.raises(ValueError):
+            TopKCompressor(1.5)
+
+
+class TestTopKTraining:
+    """Top-k + error feedback still trains NT3 (the convergence contract)."""
+
+    def test_nt3_converges_under_topk(self):
+        from repro.candle import get_benchmark
+        from repro.core.parallel import run_parallel_benchmark
+        from repro.core.scaling import strong_scaling_plan
+
+        bench = get_benchmark("nt3", scale=0.004, sample_scale=0.15)
+        plan = strong_scaling_plan(bench.spec, 2, total_epochs=6)
+        collective = CollectiveOptions(compression="topk", topk_ratio=0.25)
+        result = run_parallel_benchmark(bench, plan, seed=7, collective=collective)
+        losses = result.history["loss"]
+        assert len(losses) == plan.epochs_per_worker
+        assert losses[-1] < losses[0], f"top-k run diverged: {losses}"

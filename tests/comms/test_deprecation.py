@@ -1,0 +1,92 @@
+"""The keyword-only migration: shims warn, new forms stay silent."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import hvd
+from repro.nn import SGD
+
+pytestmark = pytest.mark.filterwarnings("error::DeprecationWarning")
+
+
+@pytest.fixture
+def single_rank_hvd():
+    hvd.init()
+    yield
+    hvd.shutdown()
+
+
+class TestLegacyPositionalWarns:
+    def test_allreduce_positional_op(self, single_rank_hvd):
+        with pytest.deprecated_call():
+            out = hvd.allreduce(np.ones(4), "sum")
+        np.testing.assert_array_equal(out, np.ones(4))
+
+    def test_allreduce_positional_op_and_name(self, single_rank_hvd):
+        with pytest.deprecated_call():
+            hvd.allreduce(np.ones(4), "mean", "grad")
+
+    def test_allreduce_too_many_positionals(self, single_rank_hvd):
+        with pytest.raises(TypeError, match="at most 2 positional"):
+            hvd.allreduce(np.ones(4), "mean", "grad", "extra")
+
+    def test_broadcast_positional_root(self, single_rank_hvd):
+        with pytest.deprecated_call():
+            assert hvd.broadcast({"a": 1}, 0) == {"a": 1}
+
+    def test_allgather_positional_name(self, single_rank_hvd):
+        with pytest.deprecated_call():
+            assert hvd.allgather(7, "xs") == [7]
+
+    def test_broadcast_weights_positional_root(self, single_rank_hvd):
+        params = {"w": np.ones(3)}
+        with pytest.deprecated_call():
+            hvd.broadcast_weights(params, 0)
+
+    def test_optimizer_positional_fusion_bytes(self, single_rank_hvd):
+        with pytest.deprecated_call():
+            opt = hvd.DistributedOptimizer(SGD(lr=0.1), 1 << 20)
+        assert opt.fusion.capacity_bytes == 1 << 20
+
+    def test_optimizer_fusion_bytes_keyword(self, single_rank_hvd):
+        with pytest.deprecated_call():
+            opt = hvd.DistributedOptimizer(SGD(lr=0.1), fusion_bytes=512)
+        assert opt.options.fusion_bytes == 512
+
+    def test_optimizer_rejects_both_forms(self, single_rank_hvd):
+        with pytest.raises(TypeError, match="not both"), warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            hvd.DistributedOptimizer(
+                SGD(lr=0.1),
+                options=hvd.CollectiveOptions(),
+                fusion_bytes=512,
+            )
+
+
+class TestKeywordFormsAreSilent:
+    """module-level filterwarnings turns any DeprecationWarning into a failure"""
+
+    def test_allreduce(self, single_rank_hvd):
+        hvd.allreduce(np.ones(4), op="sum", name="grad")
+
+    def test_allreduce_with_options(self, single_rank_hvd):
+        hvd.allreduce(
+            np.ones(4), op="mean", options=hvd.CollectiveOptions(algorithm="flat")
+        )
+
+    def test_broadcast(self, single_rank_hvd):
+        assert hvd.broadcast([1, 2], root=0, name="payload") == [1, 2]
+
+    def test_allgather(self, single_rank_hvd):
+        assert hvd.allgather("x", name="xs") == ["x"]
+
+    def test_broadcast_weights(self, single_rank_hvd):
+        hvd.broadcast_weights({"w": np.zeros(2)}, root=0)
+
+    def test_optimizer_options(self, single_rank_hvd):
+        opt = hvd.DistributedOptimizer(
+            SGD(lr=0.1), options=hvd.CollectiveOptions(fusion_bytes=256)
+        )
+        assert opt.fusion.capacity_bytes == 256

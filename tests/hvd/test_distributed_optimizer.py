@@ -72,7 +72,9 @@ def test_equivalent_to_large_batch_sgd():
 
 def test_multiple_fusion_groups_still_correct():
     def fn(comm):
-        opt = hvd.DistributedOptimizer(SGD(lr=1.0), fusion_bytes=64)
+        opt = hvd.DistributedOptimizer(
+            SGD(lr=1.0), options=hvd.CollectiveOptions(fusion_bytes=64)
+        )
         params = {f"p{i}": np.zeros(16) for i in range(5)}  # 128 B each
         grads = {f"p{i}": np.full(16, float(comm.rank)) for i in range(5)}
         opt.apply_gradients(params, grads)

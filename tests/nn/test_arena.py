@@ -318,7 +318,8 @@ def test_arena_reduce_bitwise_equals_packed_reduce(rng):
             try:
                 model = nt3_shaped(seed=31 + comm.rank, arena=arena_path)
                 opt = hvd.DistributedOptimizer(
-                    SGD(lr=0.05, momentum=0.9), fusion_bytes=512
+                    SGD(lr=0.05, momentum=0.9),
+                    options=hvd.CollectiveOptions(fusion_bytes=512),
                 )
                 model.compile(opt, "categorical_crossentropy")
                 cbs = [hvd.BroadcastGlobalVariablesCallback(0)]
