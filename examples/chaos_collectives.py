@@ -1,0 +1,139 @@
+"""Chaos-testing the fault-tolerant collectives.
+
+Two demonstrations of :mod:`repro.comms.ft` under injected faults:
+
+1. **Surviving a mid-step rank kill** — 8 ranks run a short allreduce
+   loop (a stand-in for data-parallel training steps) and one rank is
+   killed mid-collective. The survivors detect the death, run the
+   JOIN/COMMIT rebuild, and finish every step on the shrunken
+   communicator; each surviving step result is bitwise identical to a
+   flat allreduce over the surviving ranks' inputs. The recovery takes
+   milliseconds where a checkpoint restart would take the better part
+   of a minute.
+2. **Corrupted chunk, retransmitted** — with wire CRC armed
+   (``checksum=True``; it is *off* by default because the transports
+   underneath carry link-layer integrity), a corrupted envelope is
+   detected, NACKed, and retransmitted: the collective completes
+   bit-identical with no demotion and no rebuild.
+
+Run:  python examples/chaos_collectives.py
+"""
+
+import numpy as np
+
+from repro.comms import CollectiveOptions
+from repro.comms.ft import FaultToleranceOptions
+from repro.comms.ft.engine import FaultTolerantEngine
+from repro.mpi import run_spmd
+from repro.mpi.communicator import canonical_reduce
+from repro.resilience.faults import FaultInjector, FaultPlan
+
+WORLD, LOCAL = 8, 4   # two simulated nodes, four ranks each
+STEPS = 3
+N = 4096
+
+#: fast-turnaround knobs so the demo finishes in seconds; production
+#: defaults beat at 250 ms and detect in ~1 s
+FTO = FaultToleranceOptions(
+    heartbeat_interval_s=0.005,
+    chunk_deadline_s=0.1,
+    retry_base_delay_s=0.001,
+)
+
+
+def step_input(rank: int, step: int) -> np.ndarray:
+    return np.random.default_rng(1000 * step + rank).standard_normal(N)
+
+
+def demo_rank_kill() -> None:
+    print("1. mid-step rank kill -> elastic rebuild, training continues")
+    victim = 5
+    opts = CollectiveOptions(algorithm="hierarchical", fault_tolerance=FTO)
+    plan = FaultPlan.single_message_fault("rank_kill", rank=victim, message=1)
+    collect = {}
+
+    def worker(comm):
+        engine = FaultTolerantEngine(comm, opts)
+        if comm.rank == 0:   # one rank narrates the rebuild consensus
+            engine.on_rebuild(lambda rec: print(
+                f"   rebuild @epoch {rec.epoch}: world {rec.old_world}->"
+                f"{rec.new_world}, dead {list(rec.dead)}, coordinator "
+                f"rank {rec.coordinator}, consensus {rec.elapsed_s * 1e3:.1f} ms"
+            ))
+        outs = []
+        try:
+            for step in range(STEPS):
+                outs.append(engine.allreduce(
+                    step_input(comm.rank, step), name=f"step{step}"
+                ))
+        finally:
+            engine.close()
+        collect[comm.rank] = (outs, engine.last_recovery, len(engine.rebuilds))
+        return comm.rank
+
+    results = run_spmd(
+        WORLD, worker, local_size=LOCAL, fault_injector=FaultInjector(plan)
+    )
+    assert results[victim] is None, "the kill should be survivable, not fatal"
+    survivors = [r for r in range(WORLD) if r != victim]
+    recovery_ms = max(
+        collect[r][1]["recovery_s"] for r in survivors) * 1e3
+    print(f"   rank {victim} killed mid-collective; {len(survivors)} "
+          f"survivors recovered in {recovery_ms:.1f} ms "
+          f"(vs ~60 s for a checkpoint restart)")
+    for step in range(STEPS):
+        expect = canonical_reduce(
+            [step_input(r, step) for r in survivors], "mean"
+        )
+        exact = all(
+            np.array_equal(collect[r][0][step], expect) for r in survivors
+        )
+        print(f"   step {step}: survivor allreduce bitwise == flat allreduce "
+              f"over survivors: {exact}")
+        assert exact
+    assert all(collect[r][2] == 1 for r in survivors)
+
+
+def demo_corrupt_retransmit() -> None:
+    print("2. corrupted chunk -> CRC catch -> retransmit (checksum=True)")
+    opts = CollectiveOptions(
+        algorithm="hierarchical",
+        fault_tolerance=FTO.evolve(checksum=True),
+    )
+    plan = FaultPlan.single_message_fault("msg_corrupt", rank=1, message=2)
+    collect = {}
+
+    def worker(comm):
+        engine = FaultTolerantEngine(comm, opts)
+        try:
+            out = engine.allreduce(step_input(comm.rank, 0), name="g")
+        finally:
+            engine.close()
+        collect[comm.rank] = (
+            out, dict(engine.channel.counters), len(engine.rebuilds)
+        )
+        return comm.rank
+
+    run_spmd(WORLD, worker, local_size=LOCAL,
+             fault_injector=FaultInjector(plan))
+    expect = canonical_reduce(
+        [step_input(r, 0) for r in range(WORLD)], "mean"
+    )
+    totals = {}
+    for _, counters, _ in collect.values():
+        for key, value in counters.items():
+            totals[key] = totals.get(key, 0) + value
+    assert all(np.array_equal(out, expect) for out, _, _ in collect.values())
+    assert all(rebuilds == 0 for _, _, rebuilds in collect.values())
+    print(f"   checksum failures caught: {totals.get('checksum_failures', 0)}, "
+          f"retransmit requests: {totals.get('retransmit_requests', 0)}")
+    print("   collective completed bit-identical, no demotion, no rebuild")
+
+
+def main() -> None:
+    demo_rank_kill()
+    demo_corrupt_retransmit()
+
+
+if __name__ == "__main__":
+    main()

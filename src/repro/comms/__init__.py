@@ -12,6 +12,7 @@ allreduce (see :mod:`repro.comms.engine` for the contract).
 
 from repro.comms.compression import TopKCompressor, fp16_encode
 from repro.comms.engine import CollectiveEngine
+from repro.comms.ft import DEFAULT_FT_OPTIONS, FaultToleranceOptions
 from repro.comms.options import (
     ALGORITHMS,
     COMPRESSIONS,
@@ -31,10 +32,13 @@ from repro.comms.topology import Topology
 __all__ = [
     "ALGORITHMS",
     "COMPRESSIONS",
+    "DEFAULT_FT_OPTIONS",
     "DEFAULT_OPTIONS",
     "CollectiveEngine",
     "CollectiveOptions",
     "CollectiveSchedule",
+    "FaultToleranceOptions",
+    "FaultTolerantEngine",
     "PlanStep",
     "Topology",
     "TopKCompressor",
@@ -44,3 +48,13 @@ __all__ = [
     "plan_broadcast",
     "select_algorithm",
 ]
+
+
+def __getattr__(name):
+    # FaultTolerantEngine pulls in repro.resilience machinery at call
+    # time; resolve it lazily to keep `import repro.comms` cycle-free
+    if name == "FaultTolerantEngine":
+        from repro.comms.ft.engine import FaultTolerantEngine
+
+        return FaultTolerantEngine
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

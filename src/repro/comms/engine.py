@@ -102,6 +102,33 @@ class CollectiveEngine:
             }
             return result
         schedule = plan_allreduce(arr.nbytes, self.topology, opts)
+        return self._run_schedule(arr, op, tag, opts, schedule)
+
+    # -- schedule execution -------------------------------------------------
+    def _run_schedule(
+        self,
+        arr: np.ndarray,
+        op: str,
+        tag: str,
+        opts: CollectiveOptions,
+        schedule,
+    ) -> np.ndarray:
+        """Execute a planned chunked schedule over this rank's messages.
+
+        The dispatch follows ``schedule.algorithm``; a schedule labelled
+        ``flat`` (only reachable through the FT demotion ladder — the
+        base path short-circuits flat to ``comm.allreduce``) executes
+        the single-chunk ring pattern, which the numerics contract
+        makes bit-identical to the flat reference.
+
+        A chunk that fails with a context-carrying error (a
+        :class:`~repro.resilience.TransientCollectiveError` from the
+        injector or the FT channel) gets the failing chunk index,
+        resolved algorithm, and tensor name attached before the
+        exception propagates — so it surfaces in ``SpmdError`` as a
+        targetable location, not a generic collective failure.
+        """
+        algorithm = schedule.algorithm
         flat = np.ascontiguousarray(arr, dtype=np.float64).reshape(-1)
         out = np.empty_like(flat)
         bounds = np.linspace(0, flat.size, schedule.nchunks + 1).astype(np.int64)
@@ -109,23 +136,33 @@ class CollectiveEngine:
         for ci in range(schedule.nchunks):
             seg = flat[bounds[ci] : bounds[ci + 1]]
             t0 = time.perf_counter()
-            if algorithm == "ring":
-                reduced = self._ring(seg, op, opts)
-            elif algorithm == "rhd":
-                reduced = self._rhd(seg, op, opts)
-            else:
-                reduced = self._hierarchical(seg, op, opts)
+            try:
+                if algorithm in ("ring", "flat"):
+                    reduced = self._ring(seg, op, opts)
+                elif algorithm == "rhd":
+                    reduced = self._rhd(seg, op, opts)
+                else:
+                    reduced = self._hierarchical(seg, op, opts)
+            except Exception as exc:
+                attach = getattr(exc, "attach_context", None)
+                if attach is not None:
+                    attach(chunk=ci, algorithm=algorithm, tensor=tag)
+                raise
             out[bounds[ci] : bounds[ci + 1]] = reduced
             self._record_chunk(
                 t0, tag, ci, int(seg.nbytes * wire_ratio),
                 algorithm=algorithm, compression=opts.compression,
             )
-        self.last_info = {
+        info: Dict[str, object] = {
             "algorithm": algorithm,
             "chunks": schedule.nchunks,
             "compression": opts.compression,
             "wire_bytes": int(schedule.wire_bytes()),
         }
+        if schedule.demoted_from is not None:
+            info["demoted_from"] = schedule.demoted_from
+            info["demotion_reason"] = schedule.demotion_reason
+        self.last_info = info
         return out.reshape(arr.shape).astype(arr.dtype, copy=False)
 
     # -- telemetry ----------------------------------------------------------

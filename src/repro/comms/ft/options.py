@@ -1,0 +1,166 @@
+"""`FaultToleranceOptions`: the one knob of the fault-tolerant collectives.
+
+Rides on :class:`repro.comms.CollectiveOptions` (its ``fault_tolerance``
+field), so the same object that picks the transport algorithm also says
+how that transport survives faults — and it threads unchanged from
+``DistributedOptimizer`` / ``run_parallel_benchmark`` down to the
+rank-local :class:`~repro.comms.ft.engine.FaultTolerantEngine`.
+
+The defaults are tuned for the functional SPMD runtime (ranks are
+threads, messages are queue hops): heartbeats every 250 ms, a chunk
+deadline of 250 ms before the first retransmission request, and a
+phi-accrual detector that declares death around ``phi_dead``. The
+simulator prices the same parameters analytically
+(:func:`repro.sim.faultmodel.ft_detection_seconds`), so a paper-scale
+projection and a functional run share one failure-handling config.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["FaultToleranceOptions", "DEFAULT_FT_OPTIONS", "DEMOTION_LADDER"]
+
+#: schedule demotion order under degradation; each entry falls back to
+#: the next when a rail/peer is degraded (``flat`` is engine-executed as
+#: a single-chunk ring, bit-identical to the reference flat allreduce)
+DEMOTION_LADDER = ("hierarchical", "ring", "flat")
+
+
+@dataclass(frozen=True, kw_only=True)
+class FaultToleranceOptions:
+    """Keyword-only, frozen configuration of the FT collective runtime."""
+
+    #: master switch; a disabled instance behaves like plain PR 5 engine
+    enabled: bool = True
+
+    # -- failure detector ---------------------------------------------------
+    #: heartbeat period of the per-rank service thread — the cadence
+    #: real accrual detectors run at (Cassandra/Akka beat at 0.1–1 s);
+    #: beating much faster taxes the data plane it is meant to protect
+    heartbeat_interval_s: float = 0.25
+    #: phi at which a peer becomes *suspect* (demotion trigger)
+    phi_suspect: float = 2.0
+    #: phi at which a peer is declared *dead* (rebuild trigger)
+    phi_dead: float = 8.0
+    #: sliding window of heartbeat inter-arrival samples
+    detector_window: int = 32
+    #: floor on the interval standard deviation (jitter tolerance)
+    detector_min_std_s: float = 0.004
+    #: Akka-style acceptable heartbeat pause: silence deducted before
+    #: phi accrues, absorbing scheduler stalls of live peers. ``None``
+    #: derives 3x the heartbeat interval (see
+    #: :meth:`resolved_acceptable_pause_s`).
+    detector_acceptable_pause_s: float | None = None
+    #: seconds a retransmit-marked peer stays suspect before healing
+    suspect_heal_s: float = 1.0
+
+    # -- reliable chunk transport ------------------------------------------
+    #: per-chunk recv deadline before a retransmission is requested.
+    #: Generous on purpose: a large fused bucket legitimately takes
+    #: hundreds of ms to reduce on a loaded host, and a too-eager NACK
+    #: turns congestion into retransmit storms (real stall detectors
+    #: are lax for the same reason — Horovod warns at 60 s). Dead-rank
+    #: detection does not ride on this; the phi detector owns that.
+    chunk_deadline_s: float = 1.0
+    #: retransmission requests per message before the chunk fails
+    max_retransmits: int = 3
+    #: CRC-verify every data envelope on the wire. Off by default: the
+    #: transports underneath (in-process queues here; IB/NCCL links in
+    #: production) already carry link-layer integrity, and software CRC
+    #: costs per byte on the critical path. Turn on for chaos testing
+    #: or genuinely unreliable transports — ``msg_corrupt`` injection
+    #: is only caught while this is enabled.
+    checksum: bool = False
+    #: capped exponential backoff between retransmission requests
+    retry_base_delay_s: float = 0.002
+    retry_factor: float = 2.0
+    retry_max_delay_s: float = 0.05
+    #: jitter fraction of the retransmit backoff (seeded per rank)
+    retry_jitter: float = 0.0
+    #: base seed of the per-rank backoff RNG (rank is added to it)
+    retry_seed: int = 0
+
+    # -- degradation & recovery --------------------------------------------
+    #: demote the schedule one ladder step while any peer is suspect
+    demote_on_suspect: bool = True
+    #: allow mid-collective demotion after retransmit exhaustion
+    allow_demotion: bool = True
+    #: allow the elastic communicator rebuild on confirmed rank death
+    allow_rebuild: bool = True
+    #: consensus deadline of one rebuild round
+    rebuild_timeout_s: float = 5.0
+    #: a killed rank broadcasts a death notice before dying (fast path;
+    #: pure-silence death is still caught by the phi detector)
+    death_notice: bool = True
+    #: service thread exits after this long without data-plane traffic
+    idle_shutdown_s: float = 2.0
+
+    def __post_init__(self):
+        if self.heartbeat_interval_s <= 0:
+            raise ValueError(
+                f"heartbeat_interval_s must be positive, got {self.heartbeat_interval_s}"
+            )
+        if not 0 < self.phi_suspect < self.phi_dead:
+            raise ValueError(
+                f"need 0 < phi_suspect < phi_dead, got "
+                f"{self.phi_suspect} / {self.phi_dead}"
+            )
+        if self.detector_window < 2:
+            raise ValueError(
+                f"detector_window must be >= 2, got {self.detector_window}"
+            )
+        if self.detector_min_std_s <= 0:
+            raise ValueError(
+                f"detector_min_std_s must be positive, got {self.detector_min_std_s}"
+            )
+        if (
+            self.detector_acceptable_pause_s is not None
+            and self.detector_acceptable_pause_s < 0
+        ):
+            raise ValueError(
+                f"detector_acceptable_pause_s must be non-negative, "
+                f"got {self.detector_acceptable_pause_s}"
+            )
+        if self.chunk_deadline_s <= 0:
+            raise ValueError(
+                f"chunk_deadline_s must be positive, got {self.chunk_deadline_s}"
+            )
+        if self.max_retransmits < 0:
+            raise ValueError(
+                f"max_retransmits must be non-negative, got {self.max_retransmits}"
+            )
+        if self.retry_base_delay_s < 0 or self.retry_max_delay_s < 0:
+            raise ValueError("retry delays must be non-negative")
+        if self.retry_factor < 1.0:
+            raise ValueError(f"retry_factor must be >= 1, got {self.retry_factor}")
+        if self.retry_jitter < 0:
+            raise ValueError(f"retry_jitter must be non-negative, got {self.retry_jitter}")
+        if self.rebuild_timeout_s <= 0:
+            raise ValueError(
+                f"rebuild_timeout_s must be positive, got {self.rebuild_timeout_s}"
+            )
+        if self.suspect_heal_s < 0:
+            raise ValueError(
+                f"suspect_heal_s must be non-negative, got {self.suspect_heal_s}"
+            )
+        if self.idle_shutdown_s <= 0:
+            raise ValueError(
+                f"idle_shutdown_s must be positive, got {self.idle_shutdown_s}"
+            )
+
+    @property
+    def resolved_acceptable_pause_s(self) -> float:
+        """The effective detector grace: the explicit value, else 3x the
+        heartbeat interval (Akka's heartbeat-pause heuristic)."""
+        if self.detector_acceptable_pause_s is not None:
+            return self.detector_acceptable_pause_s
+        return 3.0 * self.heartbeat_interval_s
+
+    def evolve(self, **changes) -> "FaultToleranceOptions":
+        """A copy with the given fields replaced (frozen-friendly)."""
+        return replace(self, **changes)
+
+
+#: FT defaults: detection + retry + demotion + rebuild all armed
+DEFAULT_FT_OPTIONS = FaultToleranceOptions()

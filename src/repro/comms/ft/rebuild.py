@@ -1,0 +1,146 @@
+"""Elastic communicator rebuild: route around confirmed-dead ranks.
+
+When the failure detector confirms a rank dead mid-step, the survivors
+agree on the surviving set and construct a fresh communicator that
+excludes the hole — without tearing down the run (PR 1's restart path)
+or waiting for a checkpoint restore. The consensus is a two-message
+exchange coordinated by the lowest-ranked survivor:
+
+1. **JOIN** — every non-coordinator survivor sends its local dead-set
+   view to the coordinator and waits. A rank that stays silent past
+   the rebuild deadline is itself declared dead (rebuild is also the
+   detector of ranks that died *during* recovery).
+2. **COMMIT** — the coordinator unions the views, builds a fresh
+   :class:`~repro.mpi.communicator._Context` sized to the survivors,
+   and ships it (ranks are threads — the context travels by reference)
+   together with the survivor list. Each survivor renumbers itself to
+   its index in that list.
+
+The rebuilt communicator reports ``local_size=1``: the node placement
+of the survivors is no longer uniform once a hole opens in a node, so
+the degraded-mode topology is flat and the planner selects ring (never
+hierarchical) until the job is relaunched at full strength — the same
+conservatism real elastic runtimes apply.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from repro.mpi.communicator import Communicator, DeadlockError, _Context
+
+__all__ = ["RebuildResult", "rebuild_communicator"]
+
+_TAG_FT_JOIN = -122
+_TAG_FT_COMMIT = -123
+
+
+@dataclass(frozen=True)
+class RebuildResult:
+    """One survivor's view of a completed rebuild."""
+
+    comm: Communicator  #: the new communicator (renumbered rank)
+    survivors: Tuple[int, ...]  #: old rank ids, in new-rank order
+    coordinator: int  #: old rank id that coordinated
+    epoch: int  #: channel epoch the rebuild committed
+    old_rank: int  #: this rank's id on the old communicator
+
+    @property
+    def new_rank(self) -> int:
+        return self.survivors.index(self.old_rank)
+
+    @property
+    def dead(self) -> Tuple[int, ...]:
+        world = max(self.survivors) + 1 if self.survivors else 0
+        known = set(self.survivors)
+        return tuple(r for r in range(world) if r not in known)
+
+
+def rebuild_communicator(
+    comm: Communicator,
+    dead: Iterable[int],
+    epoch: int,
+    timeout: float = 5.0,
+) -> RebuildResult:
+    """Run the JOIN/COMMIT consensus on the old communicator.
+
+    ``dead`` is this rank's local view of the dead set; views are
+    unioned at the coordinator, and survivors that miss the ``timeout``
+    deadline are added to it. Every caller must have agreed (via the
+    channel's restart broadcast) to rebuild at ``epoch`` before calling
+    — the old communicator's mailboxes are only trusted for these two
+    control messages.
+    """
+    me = comm.rank
+    world = comm.size
+    dead_view = {int(d) for d in dead if 0 <= int(d) < world and int(d) != me}
+    alive = [r for r in range(world) if r not in dead_view]
+    coordinator = min(alive)
+
+    if me == coordinator:
+        expected = [r for r in alive if r != me]
+        deadline = time.monotonic() + timeout
+        confirmed_dead = set(dead_view)
+        joined = []
+        for peer in expected:
+            remaining = max(0.05, deadline - time.monotonic())
+            try:
+                while True:
+                    msg = comm.recv_within(peer, tag=_TAG_FT_JOIN, timeout=remaining)
+                    _, _frm, their_dead, their_epoch = msg
+                    if their_epoch >= epoch:
+                        break  # drop joins left over from an older rebuild
+                    remaining = max(0.05, deadline - time.monotonic())
+            except DeadlockError:
+                confirmed_dead.add(peer)  # silent through recovery: dead
+                continue
+            confirmed_dead |= {int(d) for d in their_dead}
+            joined.append(peer)
+        # a rank the local view condemned may in fact be alive and
+        # JOINing (detector false positive); grant its JOIN a short
+        # grace so a wrong accusation doesn't strand a live rank
+        for peer in sorted(dead_view):
+            try:
+                while True:
+                    msg = comm.recv_within(peer, tag=_TAG_FT_JOIN, timeout=0.05)
+                    _, _frm, their_dead, their_epoch = msg
+                    if their_epoch >= epoch:
+                        confirmed_dead |= {int(d) for d in their_dead}
+                        joined.append(peer)
+                        break
+            except DeadlockError:
+                continue
+        # anyone who answered a JOIN is alive, whatever a view claimed
+        confirmed_dead -= set(joined) | {me}
+        survivors = tuple(r for r in range(world) if r not in confirmed_dead)
+        new_context = _Context(len(survivors), comm._context.timeout)
+        for old_rank in survivors:
+            if old_rank != me:
+                comm.send(
+                    ("commit", epoch, survivors, new_context),
+                    old_rank,
+                    tag=_TAG_FT_COMMIT,
+                )
+        new_comm = Communicator(
+            new_context, survivors.index(me), local_size=1
+        )
+        return RebuildResult(new_comm, survivors, coordinator, epoch, me)
+
+    comm.send((
+        "join", me, tuple(sorted(dead_view)), epoch
+    ), coordinator, tag=_TAG_FT_JOIN)
+    while True:
+        msg = comm.recv_within(
+            coordinator, tag=_TAG_FT_COMMIT, timeout=timeout + 1.0
+        )
+        _, commit_epoch, survivors, new_context = msg
+        if commit_epoch >= epoch:
+            break  # drop commits left over from an older rebuild
+    new_comm = Communicator(
+        new_context, tuple(survivors).index(me), local_size=1
+    )
+    return RebuildResult(
+        new_comm, tuple(survivors), coordinator, int(commit_epoch), me
+    )

@@ -32,6 +32,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from repro.comms.ft.options import FaultToleranceOptions
+
 __all__ = [
     "CollectiveOptions",
     "DEFAULT_OPTIONS",
@@ -76,6 +78,9 @@ class CollectiveOptions:
     chunk_bytes: Optional[int] = None
     #: at or below this size, latency dominates and rhd is preferred
     small_message_bytes: int = 16 << 10
+    #: fault-tolerant execution (heartbeat detection, retransmission,
+    #: demotion, elastic rebuild); None = the plain PR 5 engine
+    fault_tolerance: Optional[FaultToleranceOptions] = None
 
     def __post_init__(self):
         if self.algorithm not in ALGORITHMS:
@@ -101,6 +106,13 @@ class CollectiveOptions:
         if self.small_message_bytes < 0:
             raise ValueError(
                 f"small_message_bytes must be non-negative, got {self.small_message_bytes}"
+            )
+        if self.fault_tolerance is not None and not isinstance(
+            self.fault_tolerance, FaultToleranceOptions
+        ):
+            raise ValueError(
+                "fault_tolerance must be a FaultToleranceOptions or None, "
+                f"got {type(self.fault_tolerance).__name__}"
             )
 
     # -- derived quantities -------------------------------------------------

@@ -81,6 +81,9 @@ class ParallelRunResult:
     timeline: Timeline
     wall_s: float
     tracer: Optional[Tracer] = None
+    #: ranks that died mid-run (fault injection) and were routed around
+    #: by the elastic rebuild; their reports are absent from ``ranks``
+    dead_ranks: tuple = ()
 
     @property
     def nworkers(self) -> int:
@@ -127,6 +130,7 @@ def run_parallel_benchmark(
     arena: bool = True,
     tracer: Optional[Tracer] = None,
     collective: "Optional[CollectiveOptions]" = None,
+    fault_injector=None,
 ) -> ParallelRunResult:
     """Run one benchmark under one scaling plan, functionally.
 
@@ -156,7 +160,13 @@ def run_parallel_benchmark(
     ``collective`` is an optional :class:`repro.comms.CollectiveOptions`
     governing every gradient and metric reduction in the run (algorithm,
     compression, fusion size, chunking); None uses the engine's
-    automatic, bit-identical defaults.
+    automatic, bit-identical defaults. When its ``fault_tolerance`` is
+    enabled, gradient reductions run over the fault-tolerant engine
+    (:mod:`repro.comms.ft`): message faults from ``fault_injector`` (a
+    :class:`repro.resilience.FaultInjector`) are retried or demoted, and
+    a rank killed mid-collective is routed around by an elastic
+    communicator rebuild — the survivors finish the run and the dead
+    rank is listed on ``ParallelRunResult.dead_ranks``.
     """
     if data is None and data_paths is None:
         data = benchmark.synth_arrays(np.random.default_rng(seed))
@@ -231,8 +241,17 @@ def run_parallel_benchmark(
             hvd.shutdown()
 
     t_start = time.perf_counter()
-    reports = run_spmd(plan.nworkers, worker, local_size=local_size)
+    reports = run_spmd(
+        plan.nworkers, worker, local_size=local_size,
+        fault_injector=fault_injector,
+    )
     wall = time.perf_counter() - t_start
+    dead = tuple(i for i, r in enumerate(reports) if r is None)
     return ParallelRunResult(
-        plan=plan, ranks=reports, timeline=timeline, wall_s=wall, tracer=tracer
+        plan=plan,
+        ranks=[r for r in reports if r is not None],
+        timeline=timeline,
+        wall_s=wall,
+        tracer=tracer,
+        dead_ranks=dead,
     )

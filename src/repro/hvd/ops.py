@@ -95,13 +95,21 @@ def allreduce(
     comm = _rt.comm()
     tl = _rt.timeline()
     tag = name or "tensor"
+    run_opts = options if options is not None else _rt.options()
+    ft = getattr(run_opts, "fault_tolerance", None)
+    ft_enabled = ft is not None and ft.enabled and comm.size > 1
     t_enter = time.perf_counter()
-    comm.barrier()  # rendezvous: every rank ready to reduce
+    if not ft_enabled:
+        # rendezvous: every rank ready to reduce. Under fault tolerance
+        # the engine's completion fence provides the synchronization, and
+        # a raw barrier would hang forever on a rank that died.
+        comm.barrier()
     t_ready = time.perf_counter()
     if isinstance(tensor, np.ndarray) and tensor.size >= comm.size:
         eng = _rt.engine()
         result = eng.allreduce(tensor, op=op, name=tag, options=options)
         algorithm = eng.last_info.get("algorithm", "flat")
+        comm = _rt.comm()  # an elastic rebuild may have swapped it
     else:
         # scalars and sub-world arrays take the communicator's tree path
         result = comm.allreduce(tensor, op=op)

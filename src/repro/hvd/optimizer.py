@@ -68,6 +68,9 @@ class DistributedOptimizer(Optimizer):
         self.options = options  # None = run-level options / engine defaults
         self.fusion = FusionBuffer.from_options(options)
         self.allreduce_count = 0
+        #: (old_world, new_world) pairs for every elastic world change
+        self.world_rescales: list = []
+        self._world: Optional[int] = None
 
     # -- learning-rate proxying (LR scaling must reach the base) -----------
     @property
@@ -103,7 +106,25 @@ class DistributedOptimizer(Optimizer):
             )
             self.allreduce_count += 1
             averaged.update(FusionBuffer.unpack(reduced, grads, group))
+        self._reconcile_world()
         return averaged
+
+    def _reconcile_world(self) -> None:
+        """Re-apply the linear LR rule when the world size changes.
+
+        A fault-tolerant run that loses a rank keeps training on the
+        survivors (elastic rebuild); the effective global batch shrinks
+        with the world, so the learning rate follows it — the same
+        linear scaling the benchmark applied at startup, applied to the
+        ratio of the new world to the old.
+        """
+        world = _rt.size()
+        if self._world is None:
+            self._world = world
+        elif world != self._world:
+            self.scale_lr(world / self._world)
+            self.world_rescales.append((self._world, world))
+            self._world = world
 
     def apply_arena(self, arena) -> None:
         """Zero-copy Horovod step for arena-built models.
@@ -127,6 +148,7 @@ class DistributedOptimizer(Optimizer):
             )
             self.allreduce_count += 1
             np.copyto(view, reduced)
+        self._reconcile_world()
 
     def __repr__(self):
         return f"DistributedOptimizer({self.base!r})"

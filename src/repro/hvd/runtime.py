@@ -77,6 +77,11 @@ def init(
 
 def shutdown() -> None:
     """Tear down this rank's Horovod state."""
+    state = getattr(_tls, "state", None)
+    if state is not None and state.engine is not None:
+        close = getattr(state.engine, "close", None)
+        if close is not None:
+            close()  # stop the FT channel's heartbeat service, if any
     _tls.state = None
 
 
@@ -134,13 +139,32 @@ def engine():
     """
     state = _state()
     if state.engine is None:
-        from repro.comms import CollectiveEngine
+        ft = getattr(state.options, "fault_tolerance", None)
+        if ft is not None and ft.enabled:
+            from repro.comms.ft.engine import FaultTolerantEngine
 
-        state.engine = CollectiveEngine(
-            state.comm,
-            options=state.options,
-            tracer=lambda: state.tracer,
-        )
+            eng = FaultTolerantEngine(
+                state.comm,
+                options=state.options,
+                tracer=lambda: state.tracer,
+            )
+
+            def _adopt_rebuilt(record, _state_ref=state, _eng=eng):
+                # runs in this rank's own thread right after an elastic
+                # rebuild: the hvd-level view (size(), rank(), comm())
+                # must follow the shrunken communicator
+                _state_ref.comm = _eng.channel.comm
+
+            eng.on_rebuild(_adopt_rebuilt)
+            state.engine = eng
+        else:
+            from repro.comms import CollectiveEngine
+
+            state.engine = CollectiveEngine(
+                state.comm,
+                options=state.options,
+                tracer=lambda: state.tracer,
+            )
     return state.engine
 
 

@@ -195,9 +195,13 @@ class Communicator:
         """Buffered send (never blocks)."""
         self._check_peer(dest)
         self._check_alive()
+        # account before put: the hand-off is zero-copy, so the moment
+        # the receiver has the object it may mutate it (a dict payload
+        # changing size mid-walk crashes the accounting)
+        nbytes = _payload_bytes(obj)
         self._context.mailbox(self.rank, dest, tag).put(obj)
         self.stats.sends += 1
-        self.stats.bytes_sent += _payload_bytes(obj)
+        self.stats.bytes_sent += nbytes
 
     def recv(self, source: int, tag: int = 0) -> Any:
         """Blocking receive with deadlock detection."""
@@ -215,6 +219,35 @@ class Communicator:
                         f"rank {self.rank} recv from {source} tag {tag} "
                         f"timed out after {self._context.timeout}s"
                     ) from None
+        self.stats.recvs += 1
+        self.stats.bytes_received += _payload_bytes(obj)
+        return obj
+
+    def recv_within(self, source: int, tag: int = 0, timeout: float = 1.0) -> Any:
+        """Blocking receive with a caller-chosen deadline.
+
+        Identical to :meth:`recv` except the deadline is ``timeout``
+        instead of the context-wide default — for protocols that must
+        decide quickly that a peer is not answering (the FT rebuild
+        consensus) rather than wait out the full deadlock window.
+        Raises :class:`DeadlockError` on expiry.
+        """
+        self._check_peer(source)
+        box = self._context.mailbox(source, self.rank, tag)
+        deadline = time.monotonic() + timeout
+        while True:
+            self._check_alive()
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise DeadlockError(
+                    f"rank {self.rank} recv_within from {source} tag {tag} "
+                    f"timed out after {timeout}s"
+                )
+            try:
+                obj = box.get(timeout=min(_POLL_INTERVAL, remaining))
+                break
+            except queue.Empty:
+                continue
         self.stats.recvs += 1
         self.stats.bytes_received += _payload_bytes(obj)
         return obj

@@ -33,6 +33,8 @@ import numpy as np
 
 __all__ = [
     "FAULT_KINDS",
+    "MESSAGE_FAULT_KINDS",
+    "ALL_FAULT_KINDS",
     "FaultSpec",
     "FaultPlan",
     "FaultInjector",
@@ -41,9 +43,22 @@ __all__ = [
     "TransientCollectiveError",
 ]
 
-#: the fault taxonomy: process death, slow rank, stalled filesystem,
-#: and a failed collective (the NCCL/MPI "unhandled system error" class)
+#: the process-level fault taxonomy: process death, slow rank, stalled
+#: filesystem, and a failed collective (the NCCL/MPI "unhandled system
+#: error" class)
 FAULT_KINDS = ("crash", "straggler", "io_stall", "collective")
+
+#: message-level faults, applied by the FT channel
+#: (:mod:`repro.comms.ft.channel`) to its own wire traffic: a message
+#: lost in flight, corrupted in flight, delayed in flight, or the
+#: sending rank dying mid-collective. These are *scheduled* by position
+#: (the sender's Nth data message) instead of epoch/step, and the
+#: injector never raises for them — it returns the due specs from
+#: :meth:`FaultInjector.on_ft_message` and the channel owns the
+#: semantics (drop vs corrupt vs sleep vs kill).
+MESSAGE_FAULT_KINDS = ("msg_drop", "msg_corrupt", "msg_delay", "rank_kill")
+
+ALL_FAULT_KINDS = FAULT_KINDS + MESSAGE_FAULT_KINDS
 
 
 class InjectedFault(RuntimeError):
@@ -55,7 +70,50 @@ class InjectedCrash(InjectedFault):
 
 
 class TransientCollectiveError(InjectedFault):
-    """A collective operation failed transiently (injected)."""
+    """A collective operation failed transiently.
+
+    Carries the failure's location — failing chunk index, resolved
+    algorithm, peer rank, tensor name — so recovery can target the
+    retransmit/demotion instead of replaying the whole run. Raisers
+    that know only part of the context (the channel knows the peer, the
+    engine's chunk loop knows chunk and algorithm) compose it via
+    :meth:`attach_context`, which never overwrites a field already set.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        chunk: Optional[int] = None,
+        algorithm: Optional[str] = None,
+        peer: Optional[int] = None,
+        tensor: Optional[str] = None,
+    ):
+        super().__init__(message)
+        self.chunk = chunk
+        self.algorithm = algorithm
+        self.peer = peer
+        self.tensor = tensor
+
+    def attach_context(self, **context) -> "TransientCollectiveError":
+        """Fill in missing location fields; returns self for chaining."""
+        for key in ("chunk", "algorithm", "peer", "tensor"):
+            if key in context and getattr(self, key) is None:
+                setattr(self, key, context[key])
+        return self
+
+    def context(self) -> dict:
+        """The non-None location fields (for reports and assertions)."""
+        return {
+            key: getattr(self, key)
+            for key in ("chunk", "algorithm", "peer", "tensor")
+            if getattr(self, key) is not None
+        }
+
+    def __str__(self):
+        base = super().__str__()
+        parts = [f"{k}={v}" for k, v in self.context().items()]
+        return f"{base} [{', '.join(parts)}]" if parts else base
 
 
 @dataclass(frozen=True)
@@ -65,9 +123,15 @@ class FaultSpec:
     ``epoch=None`` means the fault fires at rank start (before the SPMD
     function body); ``step`` additionally narrows an epoch-level fault
     to one training batch. ``delay_s`` is the injected sleep for
-    ``straggler``/``io_stall`` faults. ``permanent`` marks a crash as a
-    dead-for-good rank: it re-fires on every retry until the rank is
-    removed from the world.
+    ``straggler``/``io_stall``/``msg_delay`` faults. ``permanent`` marks
+    a crash as a dead-for-good rank: it re-fires on every retry until
+    the rank is removed from the world.
+
+    Message-level faults (:data:`MESSAGE_FAULT_KINDS`) are scheduled by
+    ``message`` — the zero-based index of the sending rank's data
+    message on the FT channel — instead of epoch/step, which pins the
+    fault to an exact position inside a collective's message pattern
+    regardless of the algorithm.
     """
 
     kind: str
@@ -76,10 +140,13 @@ class FaultSpec:
     step: Optional[int] = None
     delay_s: float = 0.0
     permanent: bool = False
+    message: Optional[int] = None
 
     def __post_init__(self):
-        if self.kind not in FAULT_KINDS:
-            raise ValueError(f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}")
+        if self.kind not in ALL_FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {ALL_FAULT_KINDS}"
+            )
         if self.rank < 0:
             raise ValueError(f"rank must be non-negative, got {self.rank}")
         if self.step is not None and self.epoch is None:
@@ -88,8 +155,24 @@ class FaultSpec:
             raise ValueError(f"delay_s must be non-negative, got {self.delay_s}")
         if self.permanent and self.kind != "crash":
             raise ValueError("only crash faults can be permanent")
+        if self.kind in MESSAGE_FAULT_KINDS:
+            if self.message is None:
+                raise ValueError(f"a {self.kind} fault needs a message index")
+            if self.message < 0:
+                raise ValueError(
+                    f"message index must be non-negative, got {self.message}"
+                )
+            if self.epoch is not None or self.step is not None:
+                raise ValueError(
+                    "message-level faults are scheduled by message index, "
+                    "not epoch/step"
+                )
+        elif self.message is not None:
+            raise ValueError(f"a {self.kind} fault cannot carry a message index")
 
     def describe(self) -> str:
+        if self.kind in MESSAGE_FAULT_KINDS:
+            return f"{self.kind}@rank{self.rank}/message {self.message}"
         where = (
             "rank start"
             if self.epoch is None
@@ -145,6 +228,18 @@ class FaultPlan:
         )
 
     @classmethod
+    def single_message_fault(
+        cls, kind: str, rank: int, message: int, delay_s: float = 0.0, seed: int = 0
+    ) -> "FaultPlan":
+        """One message-level fault on the sender's Nth FT data message."""
+        return cls(
+            specs=(
+                FaultSpec(kind, rank=rank, message=message, delay_s=delay_s),
+            ),
+            seed=seed,
+        )
+
+    @classmethod
     def random(
         cls,
         nranks: int,
@@ -185,7 +280,10 @@ class FiredFault:
     spec: FaultSpec
 
     def key(self) -> tuple:
-        return (self.attempt, self.spec.kind, self.spec.rank, self.spec.epoch, self.spec.step)
+        return (
+            self.attempt, self.spec.kind, self.spec.rank,
+            self.spec.epoch, self.spec.step, self.spec.message,
+        )
 
 
 class FaultInjector:
@@ -235,6 +333,8 @@ class FaultInjector:
     def _due(self, rank: int, epoch: Optional[int], step: Optional[int]) -> list[tuple[int, FaultSpec]]:
         due = []
         for i, spec in enumerate(self.plan.specs):
+            if spec.kind in MESSAGE_FAULT_KINDS:
+                continue  # scheduled by message index, via on_ft_message
             if spec.rank != rank or spec.epoch != epoch or spec.step != step:
                 continue
             if i in self._fired and not spec.permanent:
@@ -304,6 +404,33 @@ class FaultInjector:
     def on_step(self, rank: int, epoch: int, step: int) -> None:
         """Batch-level faults fire at the start of that batch."""
         self._fire(rank, epoch, step)
+
+    def on_ft_message(self, rank: int, message_index: int) -> list[FaultSpec]:
+        """Hook for the FT channel: message faults due at this send.
+
+        Called by :class:`repro.comms.ft.channel.FtChannel` before
+        transmitting the sender's ``message_index``-th data message.
+        Returns the due :data:`MESSAGE_FAULT_KINDS` specs *without
+        raising* — the channel interprets them (skip the put, corrupt
+        the copy, sleep, or die); the injector just records the firing
+        and, for ``rank_kill``, marks the rank dead. Each message fault
+        fires exactly once across all attempts.
+        """
+        with self._lock:
+            due = [
+                (i, spec)
+                for i, spec in enumerate(self.plan.specs)
+                if spec.kind in MESSAGE_FAULT_KINDS
+                and spec.rank == rank
+                and spec.message == message_index
+                and i not in self._fired
+            ]
+            for i, spec in due:
+                self._fired.add(i)
+                self.history.append(FiredFault(self.attempt, spec))
+                if spec.kind == "rank_kill":
+                    self.dead_ranks.add(rank)
+        return [spec for _, spec in due]
 
     # -- record ------------------------------------------------------------
     def fired_keys(self) -> list[tuple]:

@@ -50,12 +50,21 @@ __all__ = [
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Capped exponential backoff for failed attempts."""
+    """Capped exponential backoff for failed attempts.
+
+    ``jitter`` spreads retries by up to that fraction of the capped
+    delay — but only from an *injected* RNG: the policy never touches
+    global ``random``/``np.random`` state, so SPMD ranks that each seed
+    their own generator back off bit-reproducibly (the FT channel seeds
+    ``options.retry_seed + rank``; :func:`run_resilient_benchmark`
+    derives its generator from the run seed).
+    """
 
     max_retries: int = 3
     base_delay_s: float = 0.05
     factor: float = 2.0
     max_delay_s: float = 2.0
+    jitter: float = 0.0
 
     def __post_init__(self):
         if self.max_retries < 0:
@@ -64,10 +73,26 @@ class RetryPolicy:
             raise ValueError("delays must be non-negative")
         if self.factor < 1.0:
             raise ValueError(f"factor must be >= 1, got {self.factor}")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be non-negative, got {self.jitter}")
 
-    def delay_s(self, attempt: int) -> float:
-        """Backoff before retrying after failed attempt ``attempt``."""
-        return min(self.base_delay_s * self.factor**attempt, self.max_delay_s)
+    def delay_s(
+        self, attempt: int, rng: Optional[np.random.Generator] = None
+    ) -> float:
+        """Backoff before retrying after failed attempt ``attempt``.
+
+        With ``jitter > 0`` an RNG must be supplied — refusing to fall
+        back to global random state is what makes the jitter seedable.
+        """
+        delay = min(self.base_delay_s * self.factor**attempt, self.max_delay_s)
+        if self.jitter > 0.0:
+            if rng is None:
+                raise ValueError(
+                    "jittered backoff needs an injected rng "
+                    "(np.random.Generator) for reproducibility"
+                )
+            delay *= 1.0 + self.jitter * float(rng.random())
+        return delay
 
 
 @dataclass
@@ -183,6 +208,8 @@ def run_resilient_benchmark(
     if data is None:
         data = benchmark.synth_arrays(np.random.default_rng(seed))
     retry = retry if retry is not None else RetryPolicy()
+    # backoff jitter draws from a run-seeded generator, never global state
+    backoff_rng = np.random.default_rng(seed)
     loss_name, metric_names = _loss_and_metrics(benchmark)
     injector = FaultInjector(fault_plan) if fault_plan is not None else None
     checkpoint_dir = str(checkpoint_dir)
@@ -262,7 +289,7 @@ def run_resilient_benchmark(
             attempts.append(record)
             if attempt + 1 >= max_attempts:
                 raise
-            delay = retry.delay_s(attempt)
+            delay = retry.delay_s(attempt, rng=backoff_rng)
             record.backoff_s = delay
             if delay > 0:
                 sleep(delay)

@@ -43,6 +43,8 @@ __all__ = [
     "daly_interval",
     "expected_makespan",
     "checkpoint_write_seconds",
+    "ft_detection_seconds",
+    "ft_rebuild_seconds",
     "ResilientSimReport",
     "ResilientRunSimulator",
     "simulate_resilient_run",
@@ -207,6 +209,57 @@ def checkpoint_write_seconds(spec: BenchmarkSpec, machine: MachineSpec) -> float
     return payload / bw + machine.parse.per_file
 
 
+def ft_detection_seconds(ft_options=None) -> float:
+    """Expected rank-death detection latency of the phi-accrual detector.
+
+    Heartbeats arrive every ``heartbeat_interval_s``; after a death the
+    silence must grow until phi crosses ``phi_dead``. The detector's
+    analytic inverse gives the silence length for a target phi under
+    the bootstrap inter-arrival statistics — the same quantity the
+    functional :class:`~repro.comms.ft.detector.PhiAccrualDetector`
+    exposes, so the simulator and the wire agree on the model.
+    """
+    from repro.comms.ft.detector import PhiAccrualDetector
+    from repro.comms.ft.options import DEFAULT_FT_OPTIONS
+
+    o = ft_options if ft_options is not None else DEFAULT_FT_OPTIONS
+    detector = PhiAccrualDetector(
+        window=o.detector_window,
+        phi_suspect=o.phi_suspect,
+        phi_dead=o.phi_dead,
+        min_std_s=o.detector_min_std_s,
+        bootstrap_interval_s=o.heartbeat_interval_s,
+        suspect_heal_s=o.suspect_heal_s,
+        acceptable_pause_s=o.resolved_acceptable_pause_s,
+    )
+    return detector.detection_latency_s(o.phi_dead)
+
+
+def ft_rebuild_seconds(
+    spec: BenchmarkSpec, nworkers: int, fabric, ft_options=None
+) -> float:
+    """Cost of one elastic communicator rebuild after a rank death.
+
+    Two serialized control rounds at the coordinator (every survivor's
+    JOIN in, every COMMIT out — latency-bound messages on the bounding
+    link) plus the re-execution of the interrupted gradient allreduce,
+    planned on the shrunken degraded topology (``local_size=1``: the
+    rebuilt communicator never claims hierarchical placement).
+    """
+    from repro.comms import DEFAULT_OPTIONS, Topology, plan_allreduce
+
+    if nworkers <= 2:
+        return 0.0
+    survivors = nworkers - 1
+    alpha, _ = fabric.link(True)
+    control = 2.0 * (survivors - 1) * alpha
+    topo = Topology(world=survivors, local_size=1)
+    redo = plan_allreduce(spec.gradient_bytes, topo, DEFAULT_OPTIONS).seconds(
+        fabric
+    )
+    return control + redo
+
+
 @dataclass
 class ResilientSimReport:
     """A resilient simulated run vs its fault-free baseline."""
@@ -229,6 +282,10 @@ class ResilientSimReport:
     lost_work_s: float
     restart_time_s: float
     phase_seconds: dict
+    #: elastic fault tolerance (set when priced with ``ft_options``)
+    n_rebuilds: int = 0
+    detection_time_s: float = 0.0
+    rebuild_time_s: float = 0.0
 
     @property
     def time_overhead_s(self) -> float:
@@ -293,8 +350,18 @@ class ResilientRunSimulator:
         interval_s: Optional[float] = None,
         method: str = "original",
         seed: int = 0,
+        ft_options=None,
     ) -> ResilientSimReport:
-        """Simulate one resilient run; ``interval_s=None`` → Young/Daly."""
+        """Simulate one resilient run; ``interval_s=None`` → Young/Daly.
+
+        ``ft_options`` (a :class:`repro.comms.FaultToleranceOptions`)
+        switches training-phase failures to *elastic* recovery: instead
+        of losing the segment and paying restart + reload + checkpoint
+        read, the run pays failure detection (idle) + communicator
+        rebuild + the re-executed gradient allreduce, and keeps going on
+        the survivors. Load-phase failures still restart — there is no
+        communicator state to rebuild around before training starts.
+        """
         spec = (
             get_benchmark(benchmark).spec if isinstance(benchmark, str) else benchmark
         )
@@ -317,6 +384,12 @@ class ResilientRunSimulator:
             interval_s = young_daly_interval(ckpt_write, job_mtbf)
         if interval_s <= 0:
             raise ValueError(f"interval_s must be positive, got {interval_s}")
+        elastic = ft_options is not None
+        if elastic:
+            detect_s = ft_detection_seconds(ft_options)
+            rebuild_s = ft_rebuild_seconds(
+                spec, n, self.machine.fabric, ft_options
+            )
 
         power = self.machine.worker_device_power()
         intensity = self.base.compute.train_intensity(spec, plan.batch_size)
@@ -360,6 +433,9 @@ class ResilientRunSimulator:
                 "checkpoint_time_s": 0.0,
                 "restart_time_s": 0.0,
                 "restarts": 0,
+                "rebuilds": 0,
+                "detection_time_s": 0.0,
+                "rebuild_time_s": 0.0,
             }
 
             def run_block(block) -> None:
@@ -408,11 +484,26 @@ class ResilientRunSimulator:
                 t_fail = sim.next_failure()
                 window_end = sim.elapsed_s + segment + ckpt_cost
                 if t_fail is not None and t_fail < window_end:
+                    counters["failures"] += 1
+                    if elastic:
+                        # elastic recovery keeps the progress: survivors
+                        # stall through detection, rebuild the
+                        # communicator, and re-execute the interrupted
+                        # reduction — no segment loss, no restart
+                        useful = max(0.0, min(t_fail - sim.elapsed_s, segment))
+                        if useful > 0:
+                            sim.lockstep(useful, "train", p_train)
+                            done += useful
+                        counters["rebuilds"] += 1
+                        counters["detection_time_s"] += detect_s
+                        sim.lockstep(detect_s, "ft_detection", power.idle_w)
+                        counters["rebuild_time_s"] += rebuild_s
+                        sim.lockstep(rebuild_s, "communicator_rebuild", p_comm)
+                        continue
                     # everything since the last checkpoint is lost
                     lost = t_fail - sim.elapsed_s
                     sim.lockstep(lost, "lost_work", p_train)
                     counters["lost_work_s"] += lost
-                    counters["failures"] += 1
                     do_restart(have_checkpoint=counters["checkpoints"] > 0)
                     continue
                 sim.lockstep(segment, "train", p_train)
@@ -453,6 +544,9 @@ class ResilientRunSimulator:
             lost_work_s=counters["lost_work_s"],
             restart_time_s=restart_time_s,
             phase_seconds=sim.phase_report(),
+            n_rebuilds=counters["rebuilds"],
+            detection_time_s=counters["detection_time_s"],
+            rebuild_time_s=counters["rebuild_time_s"],
         )
 
 
@@ -463,8 +557,9 @@ def simulate_resilient_run(
     failure_model: FailureModel,
     interval_s: Optional[float] = None,
     seed: int = 0,
+    ft_options=None,
 ) -> ResilientSimReport:
     """One-shot convenience wrapper around :class:`ResilientRunSimulator`."""
     return ResilientRunSimulator(machine, failure_model).run(
-        benchmark, plan, interval_s=interval_s, seed=seed
+        benchmark, plan, interval_s=interval_s, seed=seed, ft_options=ft_options
     )

@@ -1,0 +1,222 @@
+"""Unit suite for the phi-accrual failure detector.
+
+Uses an injected clock throughout — no sleeps, no wall-time flakiness.
+The detector's contract: regular heartbeats keep a peer healthy; delay
+below the suspicion threshold never raises a false positive; growing
+silence walks the peer through suspect to dead; death is final.
+"""
+
+import pytest
+
+from repro.comms.ft.detector import (
+    PEER_DEAD,
+    PEER_HEALTHY,
+    PEER_SUSPECT,
+    PhiAccrualDetector,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 100.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def make(clock, **kw):
+    defaults = dict(
+        window=32,
+        phi_suspect=2.0,
+        phi_dead=8.0,
+        min_std_s=0.004,
+        bootstrap_interval_s=0.01,
+        suspect_heal_s=1.0,
+    )
+    defaults.update(kw)
+    return PhiAccrualDetector(clock=clock, **defaults)
+
+
+def beat_regularly(det, clock, peer, interval, n):
+    for _ in range(n):
+        clock.advance(interval)
+        det.beat(peer)
+
+
+class TestHealthy:
+    def test_unwatched_peer_is_healthy(self):
+        det = make(FakeClock())
+        assert det.state(7) == PEER_HEALTHY
+
+    def test_regular_heartbeats_stay_healthy(self):
+        clock = FakeClock()
+        det = make(clock)
+        det.watch(1)
+        beat_regularly(det, clock, 1, 0.01, 50)
+        assert det.state(1) == PEER_HEALTHY
+        assert det.phi(1) < 2.0
+
+    def test_no_false_positive_below_suspicion_threshold(self):
+        """Silence comfortably inside the observed jitter envelope must
+        not classify the peer as suspect — the satellite's no-false-
+        positive requirement."""
+        clock = FakeClock()
+        det = make(clock)
+        det.watch(1)
+        beat_regularly(det, clock, 1, 0.01, 50)
+        clock.advance(0.012)  # one slightly-late heartbeat's worth
+        assert det.state(1) == PEER_HEALTHY
+
+    def test_acceptable_pause_absorbs_scheduler_stall(self):
+        """A stall within the acceptable heartbeat pause (Akka-style
+        grace) must not accrue suspicion; silence beyond it still
+        condemns, and the analytic inverse accounts for the grace."""
+        clock = FakeClock()
+        det = make(clock, acceptable_pause_s=0.05)
+        det.watch(1)
+        beat_regularly(det, clock, 1, 0.01, 50)
+        clock.advance(0.05)  # 5x the mean interval: a scheduler stall
+        assert det.state(1) == PEER_HEALTHY
+        clock.advance(0.25)  # grace exhausted, true silence now accrues
+        assert det.state(1) == PEER_DEAD
+        assert det.detection_latency_s(8.0) > 0.05
+        with pytest.raises(ValueError):
+            make(FakeClock(), acceptable_pause_s=-0.1)
+
+    def test_jittery_but_alive_peer_stays_healthy(self):
+        clock = FakeClock()
+        det = make(clock)
+        det.watch(1)
+        for i in range(60):
+            clock.advance(0.008 + 0.004 * (i % 3))
+            det.beat(1)
+        clock.advance(0.013)
+        assert det.state(1) == PEER_HEALTHY
+
+
+class TestSuspicion:
+    def test_growing_silence_reaches_suspect(self):
+        clock = FakeClock()
+        det = make(clock)
+        det.watch(1)
+        beat_regularly(det, clock, 1, 0.01, 50)
+        clock.advance(0.025)  # mean + ~3.8 sigma: suspect, not yet dead
+        assert 2.0 <= det.phi(1) < 8.0
+        assert det.state(1) == PEER_SUSPECT
+
+    def test_suspect_recovers_on_heartbeat(self):
+        clock = FakeClock()
+        det = make(clock)
+        det.watch(1)
+        beat_regularly(det, clock, 1, 0.01, 50)
+        clock.advance(0.025)
+        assert det.state(1) == PEER_SUSPECT
+        det.beat(1)
+        clock.advance(0.005)
+        assert det.state(1) == PEER_HEALTHY
+
+    def test_note_slow_marks_suspect_until_heal(self):
+        clock = FakeClock()
+        det = make(clock, suspect_heal_s=0.5)
+        det.watch(1)
+        beat_regularly(det, clock, 1, 0.01, 20)
+        det.note_slow(1)
+        clock.advance(0.01)
+        det.beat(1)
+        assert det.state(1) == PEER_SUSPECT  # sticky despite the beat
+        clock.advance(0.6)
+        det.beat(1)
+        assert det.state(1) == PEER_HEALTHY
+
+    def test_suspects_lists_only_suspects(self):
+        clock = FakeClock()
+        det = make(clock)
+        for p in (1, 2):
+            det.watch(p)
+        for _ in range(50):
+            clock.advance(0.01)
+            det.beat(1)
+            det.beat(2)
+        det.note_slow(2)
+        assert det.suspects([1, 2]) == [2]
+
+
+class TestDeath:
+    def test_long_silence_reaches_dead(self):
+        clock = FakeClock()
+        det = make(clock)
+        det.watch(1)
+        beat_regularly(det, clock, 1, 0.01, 50)
+        clock.advance(5.0)
+        assert det.phi(1) >= 8.0
+        assert det.state(1) == PEER_DEAD
+        assert det.dead_peers([1, 2]) == {1}
+
+    def test_mark_dead_is_immediate_and_final(self):
+        clock = FakeClock()
+        det = make(clock)
+        det.watch(1)
+        beat_regularly(det, clock, 1, 0.01, 20)
+        det.mark_dead(1)
+        assert det.state(1) == PEER_DEAD
+        det.beat(1)  # a late heartbeat must not resurrect
+        assert det.state(1) == PEER_DEAD
+
+    def test_forget_clears_state_for_rebuild(self):
+        clock = FakeClock()
+        det = make(clock)
+        det.watch(1)
+        det.mark_dead(1)
+        det.forget([1])
+        assert det.state(1) == PEER_HEALTHY
+
+    def test_bootstrap_peer_dies_by_silence_too(self):
+        """A peer that never beat (no inter-arrival samples) must still
+        be condemnable from the bootstrap interval."""
+        clock = FakeClock()
+        det = make(clock)
+        det.watch(1)
+        clock.advance(5.0)
+        assert det.state(1) == PEER_DEAD
+
+
+class TestAnalytics:
+    def test_phi_monotone_in_silence(self):
+        clock = FakeClock()
+        det = make(clock)
+        det.watch(1)
+        beat_regularly(det, clock, 1, 0.01, 50)
+        phis = []
+        for _ in range(6):
+            clock.advance(0.02)
+            phis.append(det.phi(1))
+        assert phis == sorted(phis)
+
+    def test_detection_latency_analytic_inverse(self):
+        clock = FakeClock()
+        det = make(clock)
+        lat_dead = det.detection_latency_s(8.0)
+        lat_suspect = det.detection_latency_s(2.0)
+        assert 0 < lat_suspect < lat_dead
+        # sanity scale: a few heartbeat intervals, not seconds
+        assert lat_dead < 0.5
+
+    def test_snapshot_counts_states(self):
+        clock = FakeClock()
+        det = make(clock)
+        for p in (1, 2, 3):
+            det.watch(p)
+        beat_regularly(det, clock, 1, 0.01, 30)
+        det.beat(2)
+        det.mark_dead(3)
+        snap = det.snapshot([1, 2, 3])
+        assert snap[PEER_DEAD] == 1
+        assert snap[PEER_HEALTHY] + snap[PEER_SUSPECT] + snap[PEER_DEAD] == 3
+        assert snap["beats_seen"] > 0
+
+    def test_zero_window_rejected(self):
+        with pytest.raises(ValueError):
+            make(FakeClock(), window=0)

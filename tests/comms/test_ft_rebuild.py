@@ -1,0 +1,148 @@
+"""The JOIN/COMMIT rebuild consensus, tested directly on raw comms.
+
+The engine tests exercise rebuild end-to-end behind a real failure;
+here the consensus itself is pinned down: dead-view union across
+survivors, silent-rank detection by timeout, renumbering, and the
+usability of the rebuilt communicator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comms.ft.rebuild import RebuildResult, rebuild_communicator
+from repro.mpi import run_spmd
+from repro.mpi.communicator import canonical_reduce
+
+
+class TestConsensus:
+    def test_survivors_agree_and_renumber(self):
+        """World 4 with rank 2 dead: the three survivors converge on
+        identical survivor lists and contiguous new ranks."""
+
+        def worker(comm):
+            if comm.rank == 2:
+                return None  # plays dead: sends nothing, receives nothing
+            result = rebuild_communicator(comm, {2}, epoch=1, timeout=2.0)
+            return result
+
+        results = run_spmd(4, worker)
+        survivors = [results[r] for r in (0, 1, 3)]
+        for res in survivors:
+            assert res.survivors == (0, 1, 3)
+            assert res.coordinator == 0
+            assert res.epoch == 1
+            assert res.comm.size == 3
+            assert res.dead == (2,)
+        assert [r.new_rank for r in survivors] == [0, 1, 2]
+        assert [r.comm.rank for r in survivors] == [0, 1, 2]
+
+    def test_dead_views_are_unioned(self):
+        """Each survivor knows about a different dead rank; the commit
+        carries the union."""
+
+        def worker(comm):
+            if comm.rank in (2, 4):
+                return None
+            local_view = {2} if comm.rank < 3 else {4}
+            return rebuild_communicator(comm, local_view, epoch=1, timeout=2.0)
+
+        results = run_spmd(5, worker)
+        for r in (0, 1, 3):
+            assert results[r].survivors == (0, 1, 3)
+            # interior holes are derivable; a trailing dead rank only
+            # shows up as absence from the survivor list
+            assert results[r].dead == (2,)
+            assert 4 not in results[r].survivors
+
+    def test_silent_rank_is_condemned_by_timeout(self):
+        """A rank nobody suspected but that never JOINs gets added to
+        the dead set by the coordinator's deadline — rebuild doubles as
+        the detector for deaths *during* recovery."""
+
+        def worker(comm):
+            if comm.rank == 2:
+                return None  # dies without anyone's prior knowledge
+            return rebuild_communicator(comm, set(), epoch=1, timeout=0.5)
+
+        results = run_spmd(4, worker)
+        for r in (0, 1, 3):
+            assert results[r].survivors == (0, 1, 3)
+
+    def test_coordinator_is_lowest_survivor(self):
+        """When rank 0 is the casualty, coordination falls to rank 1."""
+
+        def worker(comm):
+            if comm.rank == 0:
+                return None
+            return rebuild_communicator(comm, {0}, epoch=3, timeout=2.0)
+
+        results = run_spmd(4, worker)
+        for r in (1, 2, 3):
+            assert results[r].coordinator == 1
+            assert results[r].survivors == (1, 2, 3)
+            assert results[r].new_rank == r - 1
+
+    def test_joined_rank_overrides_stale_dead_view(self):
+        """A rank wrongly accused in someone's view but alive enough to
+        JOIN stays in the survivor set."""
+
+        def worker(comm):
+            if comm.rank == 3:
+                return None
+            # rank 0 wrongly believes rank 1 is dead too
+            view = {1, 3} if comm.rank == 0 else {3}
+            return rebuild_communicator(comm, view, epoch=1, timeout=2.0)
+
+        results = run_spmd(4, worker)
+        for r in (0, 1, 2):
+            assert results[r].survivors == (0, 1, 2)
+
+
+class TestRebuiltCommunicator:
+    def test_allreduce_on_rebuilt_comm_matches_canonical(self):
+        def worker(comm):
+            if comm.rank == 1:
+                return None
+            res = rebuild_communicator(comm, {1}, epoch=1, timeout=2.0)
+            data = np.random.default_rng(40 + comm.rank).standard_normal(64)
+            return res.comm.allreduce(data, op="mean")
+
+        results = run_spmd(4, worker)
+        expect = canonical_reduce(
+            [
+                np.random.default_rng(40 + r).standard_normal(64)
+                for r in (0, 2, 3)
+            ],
+            "mean",
+        )
+        for r in (0, 2, 3):
+            assert np.array_equal(results[r], expect)
+
+    def test_rebuilt_topology_is_flat(self):
+        """Degraded mode reports local_size=1 regardless of the old
+        placement — the planner must not pick hierarchical on a world
+        with a hole in a node."""
+
+        def worker(comm):
+            if comm.rank == 5:
+                return None
+            res = rebuild_communicator(comm, {5}, epoch=1, timeout=2.0)
+            return res.comm.local_size
+
+        results = run_spmd(6, worker, local_size=3)
+        assert all(results[r] == 1 for r in range(6) if r != 5)
+
+
+class TestRebuildResult:
+    def test_properties(self):
+        res = RebuildResult(
+            comm=None, survivors=(0, 1, 3), coordinator=0, epoch=2, old_rank=3
+        )
+        assert res.new_rank == 2
+        assert res.dead == (2,)
+
+    def test_no_interior_holes_means_no_dead(self):
+        res = RebuildResult(
+            comm=None, survivors=(0, 1, 2), coordinator=0, epoch=1, old_rank=0
+        )
+        assert res.dead == ()

@@ -1,0 +1,73 @@
+"""Seedable backoff jitter on RetryPolicy.
+
+Jitter must come only from an injected generator — never global random
+state — so SPMD ranks back off bit-reproducibly and two runs with the
+same seed produce identical retry timelines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.resilience import RetryPolicy
+
+
+class TestUnjittered:
+    def test_zero_jitter_needs_no_rng(self):
+        policy = RetryPolicy(base_delay_s=0.05, factor=2.0, max_delay_s=1.0)
+        assert policy.delay_s(0) == 0.05
+        assert policy.delay_s(1) == 0.10
+        assert policy.delay_s(2) == 0.20
+
+    def test_cap_applies(self):
+        policy = RetryPolicy(base_delay_s=0.05, factor=2.0, max_delay_s=0.12)
+        assert policy.delay_s(5) == 0.12
+
+    def test_zero_jitter_ignores_rng(self):
+        policy = RetryPolicy(base_delay_s=0.05)
+        rng = np.random.default_rng(0)
+        assert policy.delay_s(1, rng=rng) == policy.delay_s(1)
+
+
+class TestJittered:
+    def test_jitter_without_rng_is_an_error(self):
+        policy = RetryPolicy(jitter=0.5)
+        with pytest.raises(ValueError, match="injected rng"):
+            policy.delay_s(0)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=-0.1)
+
+    def test_delay_bounded_by_jitter_fraction(self):
+        policy = RetryPolicy(
+            base_delay_s=0.05, factor=2.0, max_delay_s=1.0, jitter=0.25
+        )
+        rng = np.random.default_rng(7)
+        for attempt in range(6):
+            base = min(0.05 * 2.0**attempt, 1.0)
+            for _ in range(50):
+                d = policy.delay_s(attempt, rng=rng)
+                assert base <= d <= base * 1.25
+
+    def test_seeded_jitter_is_reproducible(self):
+        policy = RetryPolicy(base_delay_s=0.05, jitter=0.5)
+        a = [policy.delay_s(i, rng=np.random.default_rng(42)) for i in range(5)]
+        b = [policy.delay_s(i, rng=np.random.default_rng(42)) for i in range(5)]
+        assert a == b
+
+    def test_different_seeds_decorrelate(self):
+        policy = RetryPolicy(base_delay_s=0.05, jitter=0.5)
+        rng_a, rng_b = np.random.default_rng(1), np.random.default_rng(2)
+        a = [policy.delay_s(i, rng=rng_a) for i in range(8)]
+        b = [policy.delay_s(i, rng=rng_b) for i in range(8)]
+        assert a != b
+
+    def test_jitter_spreads_identical_attempts(self):
+        """The point of jitter: ranks retrying the same attempt number
+        from different seeds do not thunder in lockstep."""
+        policy = RetryPolicy(base_delay_s=0.05, jitter=1.0)
+        delays = {
+            policy.delay_s(0, rng=np.random.default_rng(seed))
+            for seed in range(16)
+        }
+        assert len(delays) == 16

@@ -157,3 +157,79 @@ def test_failure_model_validation():
         FailureModel(mtbf_rank_s=100.0, restart_s=-1.0)
     with pytest.raises(ValueError):
         FailureModel(mtbf_rank_s=100.0).job_mtbf_s(0)
+
+
+# -- fault-tolerant collectives pricing ---------------------------------------
+def test_ft_detection_seconds_matches_detector_inverse():
+    from repro.comms.ft import FaultToleranceOptions
+    from repro.comms.ft.detector import PhiAccrualDetector
+    from repro.sim.faultmodel import ft_detection_seconds
+
+    d = ft_detection_seconds()
+    assert 0 < d < 2.0
+    fto = FaultToleranceOptions(
+        heartbeat_interval_s=0.1, phi_dead=10.0, detector_min_std_s=0.02
+    )
+    det = PhiAccrualDetector(
+        bootstrap_interval_s=fto.heartbeat_interval_s,
+        phi_dead=fto.phi_dead,
+        min_std_s=fto.detector_min_std_s,
+        acceptable_pause_s=fto.resolved_acceptable_pause_s,
+    )
+    assert ft_detection_seconds(fto) == pytest.approx(
+        det.detection_latency_s(fto.phi_dead)
+    )
+    # slower heartbeats detect later, all else equal
+    slower = fto.evolve(heartbeat_interval_s=0.4)
+    assert ft_detection_seconds(slower) > ft_detection_seconds(fto)
+
+
+def test_ft_rebuild_cost_scales_with_world_and_gradient():
+    import dataclasses
+
+    from repro.sim.faultmodel import ft_rebuild_seconds
+
+    small = ft_rebuild_seconds(NT3_SPEC, 96, SUMMIT.fabric)
+    assert small > 0
+    assert ft_rebuild_seconds(NT3_SPEC, 1536, SUMMIT.fabric) > small
+    bigger = dataclasses.replace(
+        NT3_SPEC, model_params_full=NT3_SPEC.model_params_full * 20
+    )
+    assert ft_rebuild_seconds(bigger, 96, SUMMIT.fabric) > small
+    # a 2-rank world has one survivor: no collective left to rebuild
+    assert ft_rebuild_seconds(NT3_SPEC, 2, SUMMIT.fabric) == 0.0
+
+
+def test_elastic_mode_beats_restart_under_failures(plan):
+    from repro.comms.ft import DEFAULT_FT_OPTIONS
+
+    fm = FailureModel(mtbf_rank_s=24 * 3600.0, restart_s=60.0)
+    restart = ResilientRunSimulator(SUMMIT, fm).run(NT3_SPEC, plan, seed=1)
+    elastic = ResilientRunSimulator(SUMMIT, fm).run(
+        NT3_SPEC, plan, seed=1, ft_options=DEFAULT_FT_OPTIONS
+    )
+    assert restart.n_failures >= 1
+    assert elastic.n_rebuilds >= 1
+    # elastic keeps the partial segment and skips restart + rework
+    assert elastic.total_s < restart.total_s
+    assert elastic.lost_work_s < restart.lost_work_s
+    assert elastic.detection_time_s > 0
+    assert elastic.rebuild_time_s > 0
+    # recovery latency beats the checkpoint-restore path it replaces
+    per_event_recovery = (
+        elastic.detection_time_s + elastic.rebuild_time_s
+    ) / elastic.n_rebuilds
+    assert per_event_recovery < fm.restart_s + restart.checkpoint_s
+
+
+def test_elastic_mode_is_seed_deterministic(plan):
+    from repro.comms.ft import DEFAULT_FT_OPTIONS
+
+    fm = FailureModel(mtbf_rank_s=24 * 3600.0, restart_s=60.0)
+    a = ResilientRunSimulator(SUMMIT, fm).run(
+        NT3_SPEC, plan, seed=3, ft_options=DEFAULT_FT_OPTIONS
+    )
+    b = ResilientRunSimulator(SUMMIT, fm).run(
+        NT3_SPEC, plan, seed=3, ft_options=DEFAULT_FT_OPTIONS
+    )
+    assert a.total_s == b.total_s and a.n_rebuilds == b.n_rebuilds
