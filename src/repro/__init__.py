@@ -17,6 +17,12 @@ al., ICPP 2019) depends on:
   optional fp16/top-k compression, planned once and shared by the
   functional runtime and the simulator, configured by one
   ``CollectiveOptions`` object.
+- :mod:`repro.train` — the unified ``TrainOptions`` configuration of a
+  training step (arena, precision, collectives, fault tolerance,
+  overlap), threaded from benchmark entry points to the simulator.
+- :mod:`repro.overlap` — wait-free backprop: the compute/communication
+  overlap scheduler that fires ready gradient buckets through the
+  collective engine while backward continues.
 - :mod:`repro.hvd` — a Horovod reimplementation: DistributedOptimizer,
   initial-weight broadcast, tensor fusion, Chrome-trace timelines.
 - :mod:`repro.cluster` — machine models of Summit and Theta, including
@@ -50,6 +56,8 @@ __all__ = [
     "frame",
     "mpi",
     "comms",
+    "train",
+    "overlap",
     "hvd",
     "cluster",
     "candle",

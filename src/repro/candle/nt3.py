@@ -66,7 +66,8 @@ class NT3Benchmark(CandleBenchmark):
             one_hot(y[n_tr:], 2),
         )
 
-    def build_model(self, seed: int = 0, arena: bool = True, dtype=None) -> Sequential:
+    def build_model(self, seed: int = 0, *, train=None, arena=None, dtype=None) -> Sequential:
+        train = self._resolve_train(train, arena, dtype, "NT3.build_model")
         f = self.features
         k1 = max(3, min(20, f // 64))
         k2 = max(3, min(10, f // 128))
@@ -87,7 +88,7 @@ class NT3Benchmark(CandleBenchmark):
             ],
             name="nt3",
         )
-        model.build((f, 1), seed=seed, arena=arena, dtype=dtype)
+        model.build((f, 1), seed=seed, train=train)
         return model
 
     def _target_matrix(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:

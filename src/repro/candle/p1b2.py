@@ -53,7 +53,8 @@ class P1B2Benchmark(CandleBenchmark):
             x[:n_tr], one_hot(y[:n_tr], k), x[n_tr:], one_hot(y[n_tr:], k)
         )
 
-    def build_model(self, seed: int = 0, arena: bool = True, dtype=None) -> Sequential:
+    def build_model(self, seed: int = 0, *, train=None, arena=None, dtype=None) -> Sequential:
+        train = self._resolve_train(train, arena, dtype, "P1B2.build_model")
         f = self.features
         h1 = max(32, f // 32)
         reg = regularizers.l2(1e-5)
@@ -68,7 +69,7 @@ class P1B2Benchmark(CandleBenchmark):
             ],
             name="p1b2",
         )
-        model.build((f,), seed=seed, arena=arena, dtype=dtype)
+        model.build((f,), seed=seed, train=train)
         return model
 
     def _target_matrix(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:

@@ -62,7 +62,8 @@ class P1B3Benchmark(CandleBenchmark):
             x[:n_tr], y[:n_tr, None], x[n_tr:], y[n_tr:, None]
         )
 
-    def build_model(self, seed: int = 0, arena: bool = True, dtype=None) -> Sequential:
+    def build_model(self, seed: int = 0, *, train=None, arena=None, dtype=None) -> Sequential:
+        train = self._resolve_train(train, arena, dtype, "P1B3.build_model")
         f = self.features
         h1 = max(32, f)
         layers = []
@@ -80,7 +81,7 @@ class P1B3Benchmark(CandleBenchmark):
             Dense(1),
         ]
         model = Sequential(layers, name="p1b3")
-        model.build((f, 1) if self.conv else (f,), seed=seed, arena=arena, dtype=dtype)
+        model.build((f, 1) if self.conv else (f,), seed=seed, train=train)
         return model
 
     def prepare_x(self, x: np.ndarray) -> np.ndarray:

@@ -81,7 +81,8 @@ class P2B1Benchmark(CandleBenchmark):
         x_tr, x_te = x[:n_tr], x[n_tr:]
         return LoadedData(x_tr, x_tr, x_te, x_te)
 
-    def build_model(self, seed: int = 0, arena: bool = True, dtype=None) -> Sequential:
+    def build_model(self, seed: int = 0, *, train=None, arena=None, dtype=None) -> Sequential:
+        train = self._resolve_train(train, arena, dtype, "P2B1.build_model")
         f = self.features
         model = Sequential(
             [
@@ -93,7 +94,7 @@ class P2B1Benchmark(CandleBenchmark):
             ],
             name="p2b1",
         )
-        model.build((f,), seed=seed, arena=arena, dtype=dtype)
+        model.build((f,), seed=seed, train=train)
         return model
 
     def _target_matrix(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:

@@ -82,7 +82,8 @@ class P3B1Benchmark(CandleBenchmark):
             x[:n_tr], one_hot(y[:n_tr], k), x[n_tr:], one_hot(y[n_tr:], k)
         )
 
-    def build_model(self, seed: int = 0, arena: bool = True, dtype=None) -> Sequential:
+    def build_model(self, seed: int = 0, *, train=None, arena=None, dtype=None) -> Sequential:
+        train = self._resolve_train(train, arena, dtype, "P3B1.build_model")
         f = self.features
         h1 = max(64, f * 2)
         model = Sequential(
@@ -95,7 +96,7 @@ class P3B1Benchmark(CandleBenchmark):
             ],
             name="p3b1",
         )
-        model.build((f,), seed=seed, arena=arena, dtype=dtype)
+        model.build((f,), seed=seed, train=train)
         return model
 
     def _target_matrix(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:

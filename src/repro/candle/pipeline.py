@@ -68,8 +68,14 @@ def run_benchmark(
     seed: int = 0,
     validation: bool = True,
     tracer: Optional[Tracer] = None,
+    train=None,
 ) -> BenchmarkRunReport:
     """Execute the benchmark's three phases serially.
+
+    ``train`` is an optional :class:`repro.train.TrainOptions` forwarded
+    to ``build_model`` and ``fit`` — the single switchboard for arena
+    storage, precision, collective transport, and (under a distributed
+    caller) gradient-exchange overlap.
 
     With ``data_paths=(train_csv, test_csv)`` the loading phase really
     parses files via ``load_method`` — an ingest registry name or a
@@ -124,7 +130,7 @@ def run_benchmark(
         # ---- phase 2: training and cross-validation ----------------------
         n_epochs = epochs if epochs is not None else min(spec.epochs, 8)
         with tracer.span("train", epochs=n_epochs) as sp_train:
-            model = benchmark.build_model(seed=seed)
+            model = benchmark.build_model(seed=seed, train=train)
             loss, metric_names = _loss_and_metrics(benchmark)
             model.compile(
                 get_optimizer(spec.optimizer, lr=learning_rate if learning_rate is not None else spec.learning_rate),
@@ -137,6 +143,7 @@ def run_benchmark(
                 batch_size=min(batch_size or spec.batch_size, len(data.x_train)),
                 epochs=n_epochs,
                 validation_data=(data.x_test, data.y_test) if validation else None,
+                train=train,
             )
 
         # ---- phase 3: prediction and evaluation --------------------------

@@ -49,6 +49,25 @@ _TAG_HIER_RS = -105
 _TAG_HIER_RING = -106
 _TAG_HIER_AG = -107
 
+#: resolved fabric models for CollectiveOptions.emulate_fabric, by name
+_FABRICS: Dict[str, object] = {}
+
+
+def _emulated_fabric(name: str):
+    """The fabric cost model for one machine name (cached).
+
+    Imported lazily: the engine sits below :mod:`repro.cluster` in the
+    layering and only needs a machine model when a run opts into
+    emulated wire latency.
+    """
+    fabric = _FABRICS.get(name)
+    if fabric is None:
+        from repro.cluster.machine import get_machine
+
+        fabric = get_machine(name).fabric
+        _FABRICS[name] = fabric
+    return fabric
+
 
 class CollectiveEngine:
     """Plans and executes collectives for one rank thread."""
@@ -76,8 +95,17 @@ class CollectiveEngine:
         op: str = "mean",
         name: Optional[str] = None,
         options: Optional[CollectiveOptions] = None,
+        tag_shift: int = 0,
     ) -> np.ndarray:
-        """Reduce ``tensor`` across all ranks under the resolved schedule."""
+        """Reduce ``tensor`` across all ranks under the resolved schedule.
+
+        ``tag_shift`` offsets every internal message tag, giving the
+        collective a private mailbox namespace. Two collectives with
+        different shifts may run *concurrently* on different threads of
+        the same ranks (the overlap scheduler's channels); collectives
+        sharing a shift must still be issued in identical order on all
+        ranks.
+        """
         opts = options if options is not None else self.options
         arr = np.asarray(tensor)
         tag = name or "tensor"
@@ -102,7 +130,7 @@ class CollectiveEngine:
             }
             return result
         schedule = plan_allreduce(arr.nbytes, self.topology, opts)
-        return self._run_schedule(arr, op, tag, opts, schedule)
+        return self._run_schedule(arr, op, tag, opts, schedule, tag_shift)
 
     # -- schedule execution -------------------------------------------------
     def _run_schedule(
@@ -112,6 +140,7 @@ class CollectiveEngine:
         tag: str,
         opts: CollectiveOptions,
         schedule,
+        tag_shift: int = 0,
     ) -> np.ndarray:
         """Execute a planned chunked schedule over this rank's messages.
 
@@ -133,22 +162,35 @@ class CollectiveEngine:
         out = np.empty_like(flat)
         bounds = np.linspace(0, flat.size, schedule.nchunks + 1).astype(np.int64)
         wire_ratio = opts.wire_ratio()
+        # emulated wire latency: sleep each chunk's share of the priced
+        # schedule, so the threaded runtime's (shared-memory, ~free)
+        # messages cost what they would on the modeled machine's fabric
+        delay_s = 0.0
+        if opts.emulate_fabric is not None:
+            fabric = _emulated_fabric(opts.emulate_fabric)
+            delay_s = (
+                schedule.seconds(fabric)
+                * opts.emulate_fabric_scale
+                / schedule.nchunks
+            )
         for ci in range(schedule.nchunks):
             seg = flat[bounds[ci] : bounds[ci + 1]]
             t0 = time.perf_counter()
             try:
                 if algorithm in ("ring", "flat"):
-                    reduced = self._ring(seg, op, opts)
+                    reduced = self._ring(seg, op, opts, tag_shift)
                 elif algorithm == "rhd":
-                    reduced = self._rhd(seg, op, opts)
+                    reduced = self._rhd(seg, op, opts, tag_shift)
                 else:
-                    reduced = self._hierarchical(seg, op, opts)
+                    reduced = self._hierarchical(seg, op, opts, tag_shift)
             except Exception as exc:
                 attach = getattr(exc, "attach_context", None)
                 if attach is not None:
                     attach(chunk=ci, algorithm=algorithm, tensor=tag)
                 raise
             out[bounds[ci] : bounds[ci + 1]] = reduced
+            if delay_s > 0:
+                time.sleep(delay_s)
             self._record_chunk(
                 t0, tag, ci, int(seg.nbytes * wire_ratio),
                 algorithm=algorithm, compression=opts.compression,
@@ -192,16 +234,18 @@ class CollectiveEngine:
         return fp16_encode(segment) if opts.compression == "fp16" else segment
 
     # -- ring ---------------------------------------------------------------
-    def _ring(self, seg: np.ndarray, op: str, opts: CollectiveOptions) -> np.ndarray:
+    def _ring(
+        self, seg: np.ndarray, op: str, opts: CollectiveOptions, tag_shift: int = 0
+    ) -> np.ndarray:
         group = list(range(self.comm.size))
         owned, contribs, bounds = self._ring_reduce_scatter(
-            seg, group, opts, _TAG_RING_RS
+            seg, group, opts, _TAG_RING_RS - tag_shift
         )
         combined = canonical_reduce(
             [contribs[r] for r in sorted(contribs)], op
         )
         return self._ring_allgather(
-            combined, owned, bounds, group, _TAG_RING_AG, seg.size
+            combined, owned, bounds, group, _TAG_RING_AG - tag_shift, seg.size
         )
 
     def _ring_reduce_scatter(
@@ -267,7 +311,9 @@ class CollectiveEngine:
         return out
 
     # -- recursive halving-doubling -----------------------------------------
-    def _rhd(self, seg: np.ndarray, op: str, opts: CollectiveOptions) -> np.ndarray:
+    def _rhd(
+        self, seg: np.ndarray, op: str, opts: CollectiveOptions, tag_shift: int = 0
+    ) -> np.ndarray:
         me = self.comm.rank
         p = self.comm.size
         rounds = p.bit_length() - 1  # p is a power of two (planner guarantee)
@@ -285,8 +331,8 @@ class CollectiveEngine:
                 ship = {s: a[:cut] for s, a in contribs.items()}
                 contribs = {s: a[cut:] for s, a in contribs.items()}
                 lo = mid
-            self.comm.send(ship, partner, tag=_TAG_RHD_HALVE)
-            contribs.update(self.comm.recv(partner, tag=_TAG_RHD_HALVE))
+            self.comm.send(ship, partner, tag=_TAG_RHD_HALVE - tag_shift)
+            contribs.update(self.comm.recv(partner, tag=_TAG_RHD_HALVE - tag_shift))
         combined = canonical_reduce([contribs[r] for r in sorted(contribs)], op)
         out = np.empty(int(seg.size), dtype=np.float64)
         out[lo:hi] = combined
@@ -294,15 +340,15 @@ class CollectiveEngine:
         for k in reversed(range(rounds)):
             partner = me ^ (1 << k)
             ship = [(a, b, out[a:b].copy()) for a, b in owned]
-            self.comm.send(ship, partner, tag=_TAG_RHD_DOUBLE)
-            for a, b, segment in self.comm.recv(partner, tag=_TAG_RHD_DOUBLE):
+            self.comm.send(ship, partner, tag=_TAG_RHD_DOUBLE - tag_shift)
+            for a, b, segment in self.comm.recv(partner, tag=_TAG_RHD_DOUBLE - tag_shift):
                 out[a:b] = segment
                 owned.append((a, b))
         return out
 
     # -- two-level hierarchical ---------------------------------------------
     def _hierarchical(
-        self, seg: np.ndarray, op: str, opts: CollectiveOptions
+        self, seg: np.ndarray, op: str, opts: CollectiveOptions, tag_shift: int = 0
     ) -> np.ndarray:
         """Intra-node reduce-scatter, inter-node ring, intra-node allgather.
 
@@ -314,7 +360,7 @@ class CollectiveEngine:
         local = self.topology.node_ranks(me)
         rail = self.topology.rail_ranks(me)
         owned, contribs, bounds = self._ring_reduce_scatter(
-            seg, local, opts, _TAG_HIER_RS
+            seg, local, opts, _TAG_HIER_RS - tag_shift
         )
         collected = dict(contribs)
         n = len(rail)
@@ -324,14 +370,14 @@ class CollectiveEngine:
             left = rail[(i - 1) % n]
             carry = contribs
             for _ in range(n - 1):
-                self.comm.send(carry, right, tag=_TAG_HIER_RING)
-                carry = self.comm.recv(left, tag=_TAG_HIER_RING)
+                self.comm.send(carry, right, tag=_TAG_HIER_RING - tag_shift)
+                carry = self.comm.recv(left, tag=_TAG_HIER_RING - tag_shift)
                 collected.update(carry)
         combined = canonical_reduce(
             [collected[r] for r in sorted(collected)], op
         )
         return self._ring_allgather(
-            combined, owned, bounds, local, _TAG_HIER_AG, seg.size
+            combined, owned, bounds, local, _TAG_HIER_AG - tag_shift, seg.size
         )
 
     # -- top-k sparse path --------------------------------------------------

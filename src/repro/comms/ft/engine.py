@@ -124,6 +124,7 @@ class FaultTolerantEngine(CollectiveEngine):
         op: str = "mean",
         name: Optional[str] = None,
         options: Optional[CollectiveOptions] = None,
+        tag_shift: int = 0,
     ) -> np.ndarray:
         opts = options if options is not None else self.options
         arr = np.asarray(tensor)
@@ -135,7 +136,9 @@ class FaultTolerantEngine(CollectiveEngine):
         ):
             # nothing to protect (or the sparse allgather path, which
             # runs on the raw comm's collectives)
-            return super().allreduce(tensor, op=op, name=name, options=options)
+            return super().allreduce(
+                tensor, op=op, name=name, options=options, tag_shift=tag_shift
+            )
         # deferred: repro.resilience eagerly imports the hvd layer, which
         # imports repro.comms — a module-level import here would cycle
         from repro.resilience.faults import TransientCollectiveError
@@ -180,7 +183,9 @@ class FaultTolerantEngine(CollectiveEngine):
                         demoted_from=base,
                         demotion_reason=reason or "demoted for feasibility",
                     )
-                result = self._run_schedule(arr, op, tag, run_opts, schedule)
+                result = self._run_schedule(
+                    arr, op, tag, run_opts, schedule, tag_shift
+                )
                 self._fence(tag)
             except CollectiveRestart as restart:
                 first_failure = first_failure or time.perf_counter()

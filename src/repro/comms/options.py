@@ -81,6 +81,20 @@ class CollectiveOptions:
     #: fault-tolerant execution (heartbeat detection, retransmission,
     #: demotion, elastic rebuild); None = the plain PR 5 engine
     fault_tolerance: Optional[FaultToleranceOptions] = None
+    #: machine name ("summit", "theta") whose fabric model prices each
+    #: executed chunk; the engine then *sleeps* the priced wire time, so
+    #: the in-process threaded runtime — whose real messages are shared
+    #: memory, essentially free — exhibits the communication latency of
+    #: that machine. This is what makes compute/communication overlap
+    #: measurable functionally; None (default) adds no delay.
+    emulate_fabric: Optional[str] = None
+    #: dilation applied to the emulated wire time. The threaded runtime
+    #: executes a benchmark's math orders of magnitude slower than the
+    #: modeled accelerator, so fabric-priced seconds are invisible next
+    #: to emulated compute; multiplying them by the same dilation factor
+    #: as the compute (measured step seconds / modeled step seconds)
+    #: restores the machine's comm-to-compute ratio in the emulation.
+    emulate_fabric_scale: float = 1.0
 
     def __post_init__(self):
         if self.algorithm not in ALGORITHMS:
@@ -113,6 +127,17 @@ class CollectiveOptions:
             raise ValueError(
                 "fault_tolerance must be a FaultToleranceOptions or None, "
                 f"got {type(self.fault_tolerance).__name__}"
+            )
+        if self.emulate_fabric is not None and not isinstance(
+            self.emulate_fabric, str
+        ):
+            raise ValueError(
+                "emulate_fabric must be a machine name or None, "
+                f"got {type(self.emulate_fabric).__name__}"
+            )
+        if not self.emulate_fabric_scale > 0:
+            raise ValueError(
+                f"emulate_fabric_scale must be positive, got {self.emulate_fabric_scale}"
             )
 
     # -- derived quantities -------------------------------------------------

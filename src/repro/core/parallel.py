@@ -28,7 +28,6 @@ import numpy as np
 
 from repro import hvd
 from repro.candle.base import CandleBenchmark, LoadedData
-from repro.comms import CollectiveOptions
 from repro.cluster.filesystem import IoSkewModel
 from repro.core.scaling import ScalingPlan
 from repro.ingest import LoaderConfig, as_config, load_benchmark_data
@@ -36,6 +35,7 @@ from repro.hvd.timeline import Timeline
 from repro.mpi import run_spmd
 from repro.nn import get_optimizer
 from repro.telemetry import Tracer
+from repro.train import UNSET, TrainOptions, resolve_train
 
 __all__ = [
     "run_parallel_benchmark",
@@ -127,10 +127,11 @@ def run_parallel_benchmark(
     skew_scale_s: float = 0.0,
     local_size: int = 6,
     validation: bool = False,
-    arena: bool = True,
+    train: "Optional[TrainOptions]" = None,
     tracer: Optional[Tracer] = None,
-    collective: "Optional[CollectiveOptions]" = None,
     fault_injector=None,
+    arena=None,
+    collective=None,
 ) -> ParallelRunResult:
     """Run one benchmark under one scaling plan, functionally.
 
@@ -145,11 +146,17 @@ def run_parallel_benchmark(
     (rank sleeps ``(factor-1) * skew_scale_s``), which the
     negotiate_broadcast timeline events then expose.
 
-    ``arena=True`` (default) keeps each rank's parameters in a flat
+    ``train`` is the run's :class:`repro.train.TrainOptions`, the single
+    configuration of every rank's training step. ``arena=True`` (its
+    default) keeps each rank's parameters in a flat
     :class:`~repro.nn.arena.ParameterArena`, so gradient allreduces are
     zero-copy slab slices and optimizer updates are fused; ``False``
     falls back to the per-parameter pack/unpack reference path (the two
-    produce bit-identical weights).
+    produce bit-identical weights). ``overlap=True`` installs the
+    :class:`repro.overlap.OverlapScheduler` on every rank, hiding each
+    step's gradient exchange behind its backward pass. The bare
+    ``arena=``/``collective=`` keywords are deprecated shims that
+    dispatch through a TrainOptions.
 
     Every rank records ``load``/``train``/``eval`` phase spans — and,
     through :mod:`repro.hvd.ops`, its collectives — into one shared
@@ -157,17 +164,24 @@ def run_parallel_benchmark(
     result), so the run yields a joint Chrome-trace/metrics view on top
     of the per-rank timings.
 
-    ``collective`` is an optional :class:`repro.comms.CollectiveOptions`
-    governing every gradient and metric reduction in the run (algorithm,
-    compression, fusion size, chunking); None uses the engine's
-    automatic, bit-identical defaults. When its ``fault_tolerance`` is
-    enabled, gradient reductions run over the fault-tolerant engine
+    ``train.collective`` governs every gradient and metric reduction in
+    the run (algorithm, compression, fusion size, chunking); None uses
+    the engine's automatic, bit-identical defaults. When its
+    ``fault_tolerance`` is enabled, gradient reductions run over the
+    fault-tolerant engine
     (:mod:`repro.comms.ft`): message faults from ``fault_injector`` (a
     :class:`repro.resilience.FaultInjector`) are retried or demoted, and
     a rank killed mid-collective is routed around by an elastic
     communicator rebuild — the survivors finish the run and the dead
     rank is listed on ``ParallelRunResult.dead_ranks``.
     """
+    train = resolve_train(
+        train,
+        caller="run_parallel_benchmark",
+        arena=UNSET if arena is None else arena,
+        collective=UNSET if collective is None else collective,
+    )
+    collective = train.effective_collective
     if data is None and data_paths is None:
         data = benchmark.synth_arrays(np.random.default_rng(seed))
     load_config = as_config(load_method)
@@ -203,12 +217,12 @@ def run_parallel_benchmark(
             with tracer.span(
                 "train", rank=comm.rank, epochs=plan.epochs_per_worker
             ) as sp_train:
-                model = benchmark.build_model(seed=seed + 1000 * (comm.rank + 1))
-                if not arena:
-                    model.detach_arena()
+                model = benchmark.build_model(
+                    seed=seed + 1000 * (comm.rank + 1), train=train
+                )
                 base_opt = get_optimizer(benchmark.spec.optimizer, lr=plan.learning_rate)
                 model.compile(
-                    hvd.DistributedOptimizer(base_opt, options=collective),
+                    hvd.DistributedOptimizer(base_opt, train=train),
                     loss_name,
                     metrics=metric_names,
                 )
@@ -223,6 +237,7 @@ def run_parallel_benchmark(
                     epochs=plan.epochs_per_worker,
                     callbacks=callbacks,
                     validation_data=(local.x_test, local.y_test) if validation else None,
+                    train=train,
                 )
 
             # ---- phase 3: prediction & evaluation ------------------------

@@ -28,6 +28,7 @@ to the engine unchanged.
 """
 
 from repro.comms import CollectiveOptions
+from repro.train import TrainOptions
 from repro.hvd.callbacks import (
     BroadcastGlobalVariablesCallback,
     CheckpointCallback,
@@ -66,6 +67,7 @@ __all__ = [
     "engine",
     "options",
     "CollectiveOptions",
+    "TrainOptions",
     "allreduce",
     "allgather",
     "broadcast",

@@ -8,12 +8,16 @@ gradients."
 
 Gradients are fused per :class:`repro.hvd.fusion.FusionBuffer` before
 the allreduce, so each training step issues one (or a few) large
-reductions rather than one per layer. How those reductions travel —
-algorithm, compression, chunking, and the fusion capacity itself — is
-configured by one :class:`repro.comms.CollectiveOptions` passed as
-``options=`` and threaded down to the collective engine unchanged. The
-pre-engine ``fusion_bytes=`` keyword still works behind a
-:class:`DeprecationWarning` shim.
+reductions rather than one per layer. The whole step is configured by
+one :class:`repro.train.TrainOptions` passed as ``train=``: its
+``collective``/``fault_tolerance`` govern how reductions travel, and
+``overlap=True`` lets an attached
+:class:`repro.overlap.OverlapScheduler` take over the arena reduction —
+``apply_arena`` then drains the scheduler's fence instead of issuing
+the serialized slab allreduces. The earlier ``options=`` (a bare
+:class:`~repro.comms.CollectiveOptions`) and the pre-engine
+``fusion_bytes=`` keywords still work behind
+:class:`DeprecationWarning` shims.
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ from repro.hvd import ops as _ops
 from repro.hvd import runtime as _rt
 from repro.hvd.fusion import FusionBuffer
 from repro.nn.optimizers import Optimizer
+from repro.train import TrainOptions
 
 __all__ = ["DistributedOptimizer"]
 
@@ -39,6 +44,7 @@ class DistributedOptimizer(Optimizer):
         self,
         base: Optimizer,
         *legacy,
+        train: Optional[TrainOptions] = None,
         options: Optional[CollectiveOptions] = None,
         fusion_bytes: Optional[int] = None,
     ):
@@ -54,23 +60,44 @@ class DistributedOptimizer(Optimizer):
         if fusion_bytes is not None:
             warnings.warn(
                 "DistributedOptimizer(fusion_bytes=...) is deprecated; pass "
-                "options=CollectiveOptions(fusion_bytes=...) instead",
+                "train=TrainOptions(collective=CollectiveOptions("
+                "fusion_bytes=...)) instead",
                 DeprecationWarning,
                 stacklevel=2,
             )
-            if options is not None:
+            if options is not None or train is not None:
                 raise TypeError(
-                    "pass either options= or the deprecated fusion_bytes=, not both"
+                    "pass either train= or the deprecated fusion_bytes=, "
+                    "not both"
                 )
             options = CollectiveOptions(fusion_bytes=int(fusion_bytes))
+        if options is not None:
+            if fusion_bytes is None:  # the fusion_bytes shim already warned
+                warnings.warn(
+                    "DistributedOptimizer(options=...) is deprecated; pass "
+                    "train=TrainOptions(collective=...) instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            if train is not None:
+                raise TypeError(
+                    "pass either train= or the deprecated options=, not both"
+                )
+            train = TrainOptions(collective=options)
         # Deliberately no super().__init__: lr/decay/state all proxy to base.
         self.base = base
-        self.options = options  # None = run-level options / engine defaults
-        self.fusion = FusionBuffer.from_options(options)
+        self.train = train if train is not None else TrainOptions()
+        #: effective CollectiveOptions of this run's reductions
+        #: (None = run-level options / engine defaults), kept under the
+        #: pre-TrainOptions attribute name for compatibility
+        self.options = self.train.effective_collective
+        self.fusion = FusionBuffer.from_options(self.options)
         self.allreduce_count = 0
         #: (old_world, new_world) pairs for every elastic world change
         self.world_rescales: list = []
         self._world: Optional[int] = None
+        #: the attached overlap scheduler, when the step is overlapped
+        self._overlap = None
 
     # -- learning-rate proxying (LR scaling must reach the base) -----------
     @property
@@ -87,6 +114,18 @@ class DistributedOptimizer(Optimizer):
 
     def scale_lr(self, factor: float) -> None:
         self.base.scale_lr(factor)
+
+    # -- overlap attachment -------------------------------------------------
+    def attach_overlap(self, scheduler) -> None:
+        """Let an :class:`repro.overlap.OverlapScheduler` own the arena
+        reduction; ``apply_arena`` drains its fence instead of issuing
+        the serialized slab allreduces."""
+        self._overlap = scheduler
+
+    def detach_overlap(self, scheduler=None) -> None:
+        """Return to the serialized reduction path."""
+        if scheduler is None or self._overlap is scheduler:
+            self._overlap = None
 
     # -- the Horovod step ---------------------------------------------------
     def apply_gradients(self, params: Dict[str, np.ndarray], grads: Dict[str, np.ndarray]) -> None:
@@ -132,9 +171,16 @@ class DistributedOptimizer(Optimizer):
         Gradients already live in one contiguous slab laid out in fusion
         order, so there is nothing to pack: each fusion group is a slab
         *slice*, allreduced directly, with the mean copied back in place
-        before the base optimizer's fused update.
+        before the base optimizer's fused update. With an attached
+        overlap scheduler that armed this step, the buckets are already
+        in flight — the drain fence replaces the serialized reductions
+        (bit-identical on the non-compressed path: same buffers, same
+        schedules, same canonical reduction order).
         """
-        self.reduce_arena(arena)
+        if self._overlap is not None and self._overlap.finish_step(arena):
+            self._reconcile_world()
+        else:
+            self.reduce_arena(arena)
         self.base.apply_arena(arena)
 
     def reduce_arena(self, arena) -> None:

@@ -47,6 +47,12 @@ class Sequential:
         self.dtype = np.dtype(np.float64)
         self._arena: ParameterArena | None = None
         self._shuffle_rng = np.random.default_rng(0)
+        #: layer-completion callbacks fired during backward (overlap)
+        self._backward_hooks: list = []
+        #: the installed repro.overlap scheduler, if any
+        self._overlap = None
+        #: OverlapStats from the most recent overlapped fit (else None)
+        self.last_overlap_stats = None
         for layer in layers or []:
             self.add(layer)
 
@@ -61,7 +67,9 @@ class Sequential:
         self,
         input_shape: Sequence[int],
         seed: int = 0,
-        arena: bool = True,
+        *,
+        train=None,
+        arena=None,
         dtype=None,
     ) -> None:
         """Build every layer for a per-example ``input_shape``.
@@ -69,20 +77,31 @@ class Sequential:
         ``seed`` drives weight init; SPMD ranks pass different seeds and
         rely on the Horovod broadcast to reconcile, as the paper does.
 
-        ``arena=True`` (the default) moves all parameters and gradients
-        into a :class:`~repro.nn.arena.ParameterArena` after building —
+        ``train`` is a :class:`repro.train.TrainOptions`; its ``arena``
+        field (default True) moves all parameters and gradients into a
+        :class:`~repro.nn.arena.ParameterArena` after building —
         contiguous slabs that enable fused optimizer updates and
         zero-copy gradient allreduce. Updates stay bit-identical to the
-        per-parameter path; pass ``arena=False`` for plain per-layer
-        arrays. ``dtype`` sets the parameter/compute precision
-        (default float64; NT3-scale models train ~2× faster in float32).
+        per-parameter path; ``TrainOptions(arena=False)`` keeps plain
+        per-layer arrays. Its ``dtype`` sets the parameter/compute
+        precision (default float64; NT3-scale models train ~2× faster
+        in float32). The bare ``arena=``/``dtype=`` keywords are
+        deprecated shims that dispatch through a TrainOptions.
         """
+        from repro.train import UNSET, resolve_train
+
+        train = resolve_train(
+            train,
+            caller="Sequential.build",
+            arena=UNSET if arena is None else arena,
+            dtype=UNSET if dtype is None else dtype,
+        )
         if self.built:
             raise RuntimeError("model already built")
         if not self.layers:
             raise ValueError("cannot build an empty model")
-        if dtype is not None:
-            self.dtype = np.dtype(dtype)
+        if train.dtype is not None:
+            self.dtype = train.dtype
             if self.dtype.kind != "f":
                 raise ValueError(f"model dtype must be floating, got {self.dtype}")
         rng = np.random.default_rng(seed)
@@ -100,7 +119,7 @@ class Sequential:
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate layer names: {names}")
         self.built = True
-        if arena and any(layer.params for layer in self.layers):
+        if train.arena and any(layer.params for layer in self.layers):
             self._arena = ParameterArena.adopt(self, dtype=self.dtype)
 
     @property
@@ -207,12 +226,19 @@ class Sequential:
                 rest = self.layers[:-1]
             else:
                 grad = last.backward_from_logits(grad)
+                self._notify_backward(last)
                 rest = self.layers[:-1]
         else:
             grad = self.loss.grad(y_true, y_pred)
             rest = self.layers
         for layer in reversed(rest):
             grad = layer.backward(grad)
+            self._notify_backward(layer)
+
+    def _notify_backward(self, layer: Layer) -> None:
+        """Fire layer-completion hooks: this layer's gradients are final."""
+        for hook in self._backward_hooks:
+            hook(layer)
 
     def _regularization_penalty(self) -> float:
         return sum(layer.regularization_penalty() for layer in self.layers)
@@ -223,6 +249,8 @@ class Sequential:
         self._require_compiled()
         y_pred = self._forward(x, training=True)
         loss_val = self.loss.value(y, y_pred) + self._regularization_penalty()
+        if self._overlap is not None:
+            self._overlap.begin_step()
         self._backward(y, y_pred)
         if self._arena is not None:
             self.optimizer.apply_arena(self._arena)
@@ -246,12 +274,19 @@ class Sequential:
         callbacks: Optional[Sequence[Callback]] = None,
         verbose: int = 0,
         initial_epoch: int = 0,
+        train=None,
     ) -> History:
         """Train for ``epochs`` passes over ``(x, y)``.
 
         Per-epoch logs hold the running mean of batch losses/metrics plus
         ``val_*`` entries when ``validation_data`` is given. Returns the
         ``History`` callback, as Keras does.
+
+        ``train`` is an optional :class:`repro.train.TrainOptions`; with
+        ``overlap=True`` on an arena-built model under a multi-rank
+        distributed optimizer, an :class:`repro.overlap.OverlapScheduler`
+        is installed for the duration of the fit, overlapping each
+        step's gradient allreduce with its backward pass.
         """
         self._require_compiled()
         if len(x) != len(y):
@@ -268,6 +303,27 @@ class Sequential:
         cb_list.set_model(self)
         self.stop_training = False
 
+        overlap = None
+        if train is not None and train.overlap and self._overlap is None:
+            from repro.overlap import OverlapScheduler
+
+            overlap = OverlapScheduler.maybe_install(
+                self, self.optimizer, train=train
+            )
+        try:
+            return self._fit_loop(
+                x, y, batch_size, epochs, shuffle, validation_data,
+                cb_list, history, verbose, initial_epoch,
+            )
+        finally:
+            if overlap is not None:
+                overlap.close()
+                self.last_overlap_stats = overlap.stats
+
+    def _fit_loop(
+        self, x, y, batch_size, epochs, shuffle, validation_data,
+        cb_list, history, verbose, initial_epoch,
+    ) -> History:
         n = len(x)
         cb_list.on_train_begin({})
         for epoch in range(initial_epoch, initial_epoch + epochs):

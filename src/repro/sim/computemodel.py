@@ -26,10 +26,51 @@ from dataclasses import dataclass
 from repro.candle.base import BenchmarkSpec
 from repro.cluster.machine import MachineSpec
 
-__all__ = ["ComputeModel"]
+__all__ = [
+    "ComputeModel",
+    "exposed_comm_seconds",
+    "overlap_fraction",
+    "OVERLAP_EFFICIENCY",
+]
 
 #: FLOPs per parameter per sample for one fwd+bwd pass
 _FLOPS_PER_PARAM = 6.0
+
+#: share of a step's allreduce the wait-free scheduler can hide behind
+#: backward when backward is long enough — the first-fired (deepest)
+#: buckets become ready only as backward *ends*, so some comm is always
+#: exposed at the drain fence
+OVERLAP_EFFICIENCY = 0.7
+
+
+def exposed_comm_seconds(
+    comm_s: float, backward_s: float, efficiency: float = OVERLAP_EFFICIENCY
+) -> float:
+    """Per-step communication left on the critical path under overlap.
+
+    The overlapped timeline hides ``min(comm * efficiency, backward)``
+    of the gradient exchange behind the backward pass (wait-free
+    backprop); the remainder is what the pre-update drain fence waits
+    out. ``efficiency`` caps the hideable share — the earliest layers'
+    buckets release only at backward's end.
+    """
+    if comm_s < 0 or backward_s < 0:
+        raise ValueError("comm_s and backward_s must be non-negative")
+    if not 0.0 <= efficiency <= 1.0:
+        raise ValueError(f"efficiency must be in [0, 1], got {efficiency}")
+    hidden = min(comm_s * efficiency, backward_s)
+    return comm_s - hidden
+
+
+def overlap_fraction(
+    comm_s: float, backward_s: float, efficiency: float = OVERLAP_EFFICIENCY
+) -> float:
+    """Share of per-step communication hidden behind backward (0 when
+    there is no communication)."""
+    if comm_s <= 0:
+        return 0.0
+    exposed = exposed_comm_seconds(comm_s, backward_s, efficiency)
+    return (comm_s - exposed) / comm_s
 
 
 @dataclass(frozen=True)
@@ -54,6 +95,15 @@ class ComputeModel:
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         return self.machine.step_overhead_s + batch_size * self.per_sample_seconds(spec)
+
+    def backward_seconds(self, spec: BenchmarkSpec, batch_size: int) -> float:
+        """The backward share of a step's math — the window wait-free
+        backprop can hide gradient traffic in (backward ≈ 2/3 of
+        fwd+bwd, since backward differentiates both inputs and weights).
+        """
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        return 2.0 / 3.0 * batch_size * self.per_sample_seconds(spec)
 
     def epoch_compute_seconds(self, spec: BenchmarkSpec, batch_size: int) -> float:
         """One epoch's pure-compute time (no communication)."""

@@ -48,6 +48,12 @@ class SimRunReport:
     avg_power_w: float
     energy_per_worker_j: float
 
+    #: modeled share of each step's allreduce hidden behind backward
+    #: (0.0 for the serialized schedule; ``train_comm_s`` is already the
+    #: exposed remainder, this records how much never hit the critical
+    #: path)
+    overlap_fraction: float = 0.0
+
     timeline: Optional[Timeline] = None
     profiles: dict = field(default_factory=dict)
 
@@ -62,6 +68,10 @@ class SimRunReport:
         ):
             if getattr(self, f) < 0:
                 raise ValueError(f"{f} must be non-negative")
+        if not 0.0 <= self.overlap_fraction <= 1.0:
+            raise ValueError(
+                f"overlap_fraction must be in [0, 1], got {self.overlap_fraction}"
+            )
 
     # -- paper series -------------------------------------------------------
     @property
@@ -105,6 +115,7 @@ class SimRunReport:
             "load_s": round(self.load_s, 2),
             "bcast_overhead_s": round(self.broadcast_overhead_s, 2),
             "train_s": round(self.train_s, 2),
+            "overlap_frac": round(self.overlap_fraction, 3),
             "total_s": round(self.total_s, 2),
             "time_per_epoch_s": round(self.time_per_epoch_s, 2),
             "avg_power_w": round(self.avg_power_w, 1),

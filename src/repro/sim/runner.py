@@ -30,10 +30,16 @@ from repro.comms import (
 )
 from repro.core.scaling import ScalingPlan
 from repro.mpi.network import CollectiveCostModel
-from repro.sim.computemodel import ComputeModel
+from repro.sim.computemodel import (
+    OVERLAP_EFFICIENCY,
+    ComputeModel,
+    exposed_comm_seconds,
+    overlap_fraction,
+)
 from repro.sim.engine import PhaseSimulator
 from repro.sim.iomodel import IoModel
 from repro.sim.report import SimRunReport
+from repro.train.options import TrainOptions
 
 __all__ = ["ScaledRunSimulator", "simulate_run"]
 
@@ -60,7 +66,7 @@ class ScaledRunSimulator:
 
     #: share of the backward pass a fused allreduce can hide behind;
     #: the first-fired (deepest) tensors cannot overlap with anything
-    OVERLAP_FRACTION = 0.7
+    OVERLAP_FRACTION = OVERLAP_EFFICIENCY
 
     #: emit per-step timeline events up to this many train steps per run
     #: (above it, bands merge per epoch to bound event counts)
@@ -71,12 +77,22 @@ class ScaledRunSimulator:
         machine: Union[MachineSpec, str],
         overlap: bool = True,
         collective: Optional[CollectiveOptions] = None,
+        train: Optional[TrainOptions] = None,
     ):
         self.machine = get_machine(machine) if isinstance(machine, str) else machine
         self.io = IoModel(self.machine)
         self.compute = ComputeModel(self.machine)
-        self.overlap = bool(overlap)
-        self.collective = collective if collective is not None else DEFAULT_OPTIONS
+        if train is not None:
+            # one TrainOptions prices the same run the functional step
+            # executes; explicit overlap=/collective= kwargs stay for the
+            # sim-only call sites that predate it
+            self.overlap = bool(train.overlap)
+            eff = train.effective_collective
+            self.collective = eff if eff is not None else DEFAULT_OPTIONS
+        else:
+            self.overlap = bool(overlap)
+            self.collective = collective if collective is not None else DEFAULT_OPTIONS
+        self.train = train
 
     def effective_step_comm_seconds(
         self, spec: BenchmarkSpec, nworkers: int, batch_size: int
@@ -85,12 +101,18 @@ class ScaledRunSimulator:
         comm = self.allreduce_step_seconds(spec, nworkers)
         if not self.overlap or comm == 0.0:
             return comm
-        # backward ≈ 2/3 of the math in a step can hide allreduce traffic
-        backward = (
-            2.0 / 3.0 * batch_size * self.compute.per_sample_seconds(spec)
-        )
-        hidden = min(comm * self.OVERLAP_FRACTION, backward)
-        return comm - hidden
+        backward = self.compute.backward_seconds(spec, batch_size)
+        return exposed_comm_seconds(comm, backward, self.OVERLAP_FRACTION)
+
+    def step_overlap_fraction(
+        self, spec: BenchmarkSpec, nworkers: int, batch_size: int
+    ) -> float:
+        """Modeled share of per-step allreduce hidden behind backward."""
+        if not self.overlap:
+            return 0.0
+        comm = self.allreduce_step_seconds(spec, nworkers)
+        backward = self.compute.backward_seconds(spec, batch_size)
+        return overlap_fraction(comm, backward, self.OVERLAP_FRACTION)
 
     # -- communication ---------------------------------------------------------
     def _cost_model(self) -> CollectiveCostModel:
@@ -215,6 +237,7 @@ class ScaledRunSimulator:
             train_compute_s=phases.get("train_compute", 0.0),
             train_comm_s=phases.get("nccl_allreduce", 0.0),
             eval_s=phases.get("evaluate", 0.0),
+            overlap_fraction=self.step_overlap_fraction(spec, n, plan.batch_size),
             avg_power_w=energy / total if total > 0 else 0.0,
             energy_per_worker_j=energy,
             timeline=sim.timeline if keep_profiles else None,

@@ -1,0 +1,196 @@
+"""`TrainOptions`: the one public knob of a training step.
+
+Before this module, configuring a distributed training step meant a
+different keyword on every layer: ``arena=``/``dtype=`` on
+:meth:`repro.nn.Sequential.build`, ``options=`` (a
+:class:`~repro.comms.CollectiveOptions`) on
+:class:`repro.hvd.DistributedOptimizer`, ``arena=``/``collective=`` on
+:func:`repro.core.parallel.run_parallel_benchmark`, and — with the
+overlap scheduler — a new set of knobs nobody had a home for. All of
+that collapses into one keyword-only frozen dataclass, mirroring the
+``CollectiveOptions`` pattern one level down: a ``TrainOptions`` is
+threaded unchanged from the benchmark entry point through model
+building, the distributed optimizer, the overlap scheduler, and across
+to the simulator, so a functional run and a simulated run of the same
+configuration execute (and charge) the same training step.
+
+The old keywords keep working behind :class:`DeprecationWarning` shims
+(see :func:`resolve_train`); new code passes ``train=TrainOptions(...)``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.comms import CollectiveOptions
+from repro.comms.ft.options import FaultToleranceOptions
+
+__all__ = [
+    "TrainOptions",
+    "DEFAULT_TRAIN_OPTIONS",
+    "OVERLAP_PRIORITIES",
+    "UNSET",
+    "resolve_train",
+]
+
+#: ready-queue orderings for the overlap scheduler
+OVERLAP_PRIORITIES = ("layer", "fifo")
+
+
+class _Unset:
+    """Sentinel distinguishing "not passed" from an explicit None."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "<UNSET>"
+
+
+#: default for deprecated keyword parameters ("the caller said nothing")
+UNSET = _Unset()
+
+
+@dataclass(frozen=True, kw_only=True)
+class TrainOptions:
+    """Keyword-only configuration for every training step in a run.
+
+    The defaults reproduce the pre-existing behaviour exactly: arena
+    storage at the model's default precision, engine-automatic
+    collectives, no fault tolerance, and the serialized (non-overlapped)
+    gradient exchange.
+    """
+
+    #: keep parameters/gradients in a flat :class:`~repro.nn.ParameterArena`
+    #: (fused optimizer kernels + zero-copy slab allreduce); ``False`` is
+    #: the per-parameter reference path
+    arena: bool = True
+    #: parameter/compute precision; None keeps the model default (float64)
+    dtype: Optional[np.dtype] = None
+    #: how gradient/metric collectives travel (algorithm, compression,
+    #: fusion, chunking); None = the engine's automatic defaults
+    collective: Optional[CollectiveOptions] = None
+    #: fault-tolerant collectives (heartbeats, retransmission, elastic
+    #: rebuild); convenience for ``collective.fault_tolerance`` — set it
+    #: in one place only
+    fault_tolerance: Optional[FaultToleranceOptions] = None
+    #: overlap gradient allreduce with the backward pass (wait-free
+    #: backprop) via :class:`repro.overlap.OverlapScheduler`
+    overlap: bool = False
+    #: ordering of simultaneously-ready gradient buckets: "layer" fires
+    #: early-model-position layers first (the next forward consumes them
+    #: first), "fifo" keeps slab order
+    overlap_priority: str = "layer"
+    #: concurrent gradient-exchange channels (worker threads, each with a
+    #: private engine tag namespace) the scheduler drains buckets on; >1
+    #: lets a small late bucket travel beside a large in-flight one.
+    #: Forced to 1 under fault tolerance, compression, or a flat
+    #: algorithm, whose engine paths are single-stream.
+    overlap_channels: int = 2
+    #: seconds the pre-update drain fence waits for in-flight buckets
+    drain_timeout_s: float = 60.0
+
+    def __post_init__(self):
+        if self.dtype is not None:
+            dt = np.dtype(self.dtype)
+            if dt.kind != "f":
+                raise ValueError(f"train dtype must be floating, got {dt}")
+            object.__setattr__(self, "dtype", dt)
+        if self.collective is not None and not isinstance(
+            self.collective, CollectiveOptions
+        ):
+            raise ValueError(
+                "collective must be a CollectiveOptions or None, "
+                f"got {type(self.collective).__name__}"
+            )
+        if self.fault_tolerance is not None:
+            if not isinstance(self.fault_tolerance, FaultToleranceOptions):
+                raise ValueError(
+                    "fault_tolerance must be a FaultToleranceOptions or None, "
+                    f"got {type(self.fault_tolerance).__name__}"
+                )
+            if (
+                self.collective is not None
+                and self.collective.fault_tolerance is not None
+            ):
+                raise ValueError(
+                    "fault tolerance is configured twice: drop either "
+                    "TrainOptions.fault_tolerance or "
+                    "collective.fault_tolerance"
+                )
+        if self.overlap_priority not in OVERLAP_PRIORITIES:
+            raise ValueError(
+                f"unknown overlap_priority {self.overlap_priority!r}; "
+                f"known: {OVERLAP_PRIORITIES}"
+            )
+        if not 1 <= self.overlap_channels <= 16:
+            raise ValueError(
+                f"overlap_channels must be in [1, 16], got {self.overlap_channels}"
+            )
+        if self.drain_timeout_s <= 0:
+            raise ValueError(
+                f"drain_timeout_s must be positive, got {self.drain_timeout_s}"
+            )
+        if self.overlap and not self.arena:
+            raise ValueError(
+                "overlap=True requires arena=True: the scheduler reduces "
+                "gradient-slab buckets in place"
+            )
+
+    # -- derived quantities -------------------------------------------------
+    @property
+    def effective_collective(self) -> Optional[CollectiveOptions]:
+        """The CollectiveOptions this step's collectives actually use.
+
+        Folds ``fault_tolerance`` into ``collective`` so downstream code
+        (``hvd.init``, the engine, the simulator) keeps seeing a single
+        CollectiveOptions. ``None`` means engine defaults, as before.
+        """
+        if self.fault_tolerance is None:
+            return self.collective
+        base = self.collective if self.collective is not None else CollectiveOptions()
+        return base.evolve(fault_tolerance=self.fault_tolerance)
+
+    def evolve(self, **changes) -> "TrainOptions":
+        """A copy with the given fields replaced (frozen-friendly)."""
+        return replace(self, **changes)
+
+
+#: the step's defaults — arena storage, serialized exchange, no FT
+DEFAULT_TRAIN_OPTIONS = TrainOptions()
+
+
+def resolve_train(
+    train: Optional[TrainOptions],
+    *,
+    caller: str,
+    stacklevel: int = 3,
+    **legacy,
+) -> TrainOptions:
+    """Merge deprecated per-call keywords into one ``TrainOptions``.
+
+    ``legacy`` maps TrainOptions *field names* to the values the caller
+    received for the old keywords, with :data:`UNSET` meaning "not
+    passed". Any supplied legacy value warns ``DeprecationWarning``
+    (naming ``caller``), is rejected when ``train=`` was also given, and
+    otherwise lands on the corresponding field of a fresh TrainOptions.
+    """
+    supplied = {k: v for k, v in legacy.items() if v is not UNSET}
+    if supplied:
+        names = ", ".join(f"{k}=" for k in sorted(supplied))
+        warnings.warn(
+            f"{caller}: {names} is deprecated; pass train=TrainOptions(...) "
+            "instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        if train is not None:
+            raise TypeError(
+                f"{caller}: pass either train= or the deprecated {names}, "
+                "not both"
+            )
+        return TrainOptions(**supplied)
+    return train if train is not None else DEFAULT_TRAIN_OPTIONS

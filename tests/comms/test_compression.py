@@ -99,10 +99,14 @@ class TestTopKTraining:
         from repro.core.parallel import run_parallel_benchmark
         from repro.core.scaling import strong_scaling_plan
 
+        from repro.train import TrainOptions
+
         bench = get_benchmark("nt3", scale=0.004, sample_scale=0.15)
         plan = strong_scaling_plan(bench.spec, 2, total_epochs=6)
         collective = CollectiveOptions(compression="topk", topk_ratio=0.25)
-        result = run_parallel_benchmark(bench, plan, seed=7, collective=collective)
+        result = run_parallel_benchmark(
+            bench, plan, seed=7, train=TrainOptions(collective=collective)
+        )
         losses = result.history["loss"]
         assert len(losses) == plan.epochs_per_worker
         assert losses[-1] < losses[0], f"top-k run diverged: {losses}"

@@ -64,6 +64,26 @@ class TestLegacyPositionalWarns:
                 fusion_bytes=512,
             )
 
+    def test_optimizer_options_keyword(self, single_rank_hvd):
+        # PR 7: options= itself steps down to a shim for train=
+        with pytest.deprecated_call():
+            opt = hvd.DistributedOptimizer(
+                SGD(lr=0.1), options=hvd.CollectiveOptions(fusion_bytes=256)
+            )
+        assert opt.fusion.capacity_bytes == 256
+        assert opt.options.fusion_bytes == 256
+
+    def test_optimizer_rejects_train_plus_options(self, single_rank_hvd):
+        from repro.train import TrainOptions
+
+        with pytest.raises(TypeError, match="not both"), warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            hvd.DistributedOptimizer(
+                SGD(lr=0.1),
+                train=TrainOptions(),
+                options=hvd.CollectiveOptions(),
+            )
+
 
 class TestKeywordFormsAreSilent:
     """module-level filterwarnings turns any DeprecationWarning into a failure"""
@@ -85,8 +105,14 @@ class TestKeywordFormsAreSilent:
     def test_broadcast_weights(self, single_rank_hvd):
         hvd.broadcast_weights({"w": np.zeros(2)}, root=0)
 
-    def test_optimizer_options(self, single_rank_hvd):
+    def test_optimizer_train(self, single_rank_hvd):
+        from repro.train import TrainOptions
+
         opt = hvd.DistributedOptimizer(
-            SGD(lr=0.1), options=hvd.CollectiveOptions(fusion_bytes=256)
+            SGD(lr=0.1),
+            train=TrainOptions(
+                collective=hvd.CollectiveOptions(fusion_bytes=256)
+            ),
         )
         assert opt.fusion.capacity_bytes == 256
+        assert opt.options.fusion_bytes == 256

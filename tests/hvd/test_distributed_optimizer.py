@@ -6,6 +6,7 @@ import pytest
 from repro import hvd
 from repro.mpi import run_spmd
 from repro.nn import SGD, Adam
+from repro.train import TrainOptions
 
 
 def _with_hvd(nprocs, fn):
@@ -73,7 +74,10 @@ def test_equivalent_to_large_batch_sgd():
 def test_multiple_fusion_groups_still_correct():
     def fn(comm):
         opt = hvd.DistributedOptimizer(
-            SGD(lr=1.0), options=hvd.CollectiveOptions(fusion_bytes=64)
+            SGD(lr=1.0),
+            train=TrainOptions(
+                collective=hvd.CollectiveOptions(fusion_bytes=64)
+            ),
         )
         params = {f"p{i}": np.zeros(16) for i in range(5)}  # 128 B each
         grads = {f"p{i}": np.full(16, float(comm.rank)) for i in range(5)}

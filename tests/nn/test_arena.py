@@ -29,6 +29,7 @@ from repro.nn.serialization import (
     restore_rng_state,
     save_checkpoint,
 )
+from repro.train import TrainOptions
 
 
 def nt3_shaped(seed=0, arena=True, dtype=None):
@@ -44,7 +45,9 @@ def nt3_shaped(seed=0, arena=True, dtype=None):
             Activation("softmax"),
         ]
     )
-    model.build((24, 1), seed=seed, arena=arena, dtype=dtype)
+    model.build(
+        (24, 1), seed=seed, train=TrainOptions(arena=arena, dtype=dtype)
+    )
     return model
 
 
@@ -110,9 +113,8 @@ def test_detach_arena_restores_plain_arrays(rng):
 
 
 def test_rejects_non_float_dtype():
-    model = Sequential([Dense(2)])
     with pytest.raises(ValueError, match="floating"):
-        model.build((3,), dtype=np.int64)
+        TrainOptions(dtype=np.int64)
 
 
 def test_fusion_groups_match_fusion_buffer_plan():
@@ -319,7 +321,9 @@ def test_arena_reduce_bitwise_equals_packed_reduce(rng):
                 model = nt3_shaped(seed=31 + comm.rank, arena=arena_path)
                 opt = hvd.DistributedOptimizer(
                     SGD(lr=0.05, momentum=0.9),
-                    options=hvd.CollectiveOptions(fusion_bytes=512),
+                    train=TrainOptions(
+                        collective=hvd.CollectiveOptions(fusion_bytes=512)
+                    ),
                 )
                 model.compile(opt, "categorical_crossentropy")
                 cbs = [hvd.BroadcastGlobalVariablesCallback(0)]

@@ -29,8 +29,10 @@ F32 = np.float32
 
 
 def _build(layers, input_shape):
+    from repro.train import TrainOptions
+
     model = Sequential(layers)
-    model.build(input_shape, seed=0, dtype="float32")
+    model.build(input_shape, seed=0, train=TrainOptions(dtype="float32"))
     return model
 
 

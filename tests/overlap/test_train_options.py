@@ -1,0 +1,174 @@
+"""TrainOptions: validation, folding, and the PR 7 deprecation shims."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.comms import CollectiveOptions
+from repro.comms.ft import FaultToleranceOptions
+from repro.nn import Dense, Sequential
+from repro.nn.optimizers import SGD
+from repro.train import (
+    DEFAULT_TRAIN_OPTIONS,
+    UNSET,
+    TrainOptions,
+    resolve_train,
+)
+
+pytestmark = pytest.mark.filterwarnings("error::DeprecationWarning")
+
+
+class TestValidation:
+    def test_defaults_reproduce_pre_existing_behaviour(self):
+        t = DEFAULT_TRAIN_OPTIONS
+        assert t.arena is True
+        assert t.dtype is None
+        assert t.collective is None
+        assert t.fault_tolerance is None
+        assert t.overlap is False
+        assert t.effective_collective is None
+
+    def test_kwonly_and_frozen(self):
+        with pytest.raises(TypeError):
+            TrainOptions(True)  # noqa: the positional form must not exist
+        t = TrainOptions()
+        with pytest.raises(AttributeError):
+            t.overlap = True
+
+    def test_dtype_normalized_and_validated(self):
+        assert TrainOptions(dtype="float32").dtype == np.dtype(np.float32)
+        with pytest.raises(ValueError, match="floating"):
+            TrainOptions(dtype=np.int32)
+
+    def test_rejects_wrong_types(self):
+        with pytest.raises(ValueError, match="CollectiveOptions"):
+            TrainOptions(collective={"fusion_bytes": 4})
+        with pytest.raises(ValueError, match="FaultToleranceOptions"):
+            TrainOptions(fault_tolerance=object())
+
+    def test_rejects_double_fault_tolerance(self):
+        fto = FaultToleranceOptions()
+        with pytest.raises(ValueError, match="twice"):
+            TrainOptions(
+                fault_tolerance=fto,
+                collective=CollectiveOptions(fault_tolerance=fto),
+            )
+
+    def test_overlap_requires_arena(self):
+        with pytest.raises(ValueError, match="arena"):
+            TrainOptions(overlap=True, arena=False)
+
+    def test_overlap_priority_and_channels_bounds(self):
+        with pytest.raises(ValueError, match="overlap_priority"):
+            TrainOptions(overlap_priority="depth")
+        with pytest.raises(ValueError, match="overlap_channels"):
+            TrainOptions(overlap_channels=0)
+        with pytest.raises(ValueError, match="overlap_channels"):
+            TrainOptions(overlap_channels=17)
+        with pytest.raises(ValueError, match="drain_timeout_s"):
+            TrainOptions(drain_timeout_s=0)
+
+    def test_effective_collective_folds_ft(self):
+        fto = FaultToleranceOptions()
+        eff = TrainOptions(fault_tolerance=fto).effective_collective
+        assert eff is not None and eff.fault_tolerance is fto
+        eff = TrainOptions(
+            fault_tolerance=fto,
+            collective=CollectiveOptions(fusion_bytes=256),
+        ).effective_collective
+        assert eff.fusion_bytes == 256
+        assert eff.fault_tolerance is fto
+
+    def test_evolve(self):
+        t = TrainOptions().evolve(overlap=True, overlap_channels=3)
+        assert t.overlap and t.overlap_channels == 3
+        assert DEFAULT_TRAIN_OPTIONS.overlap is False  # original untouched
+
+
+class TestResolveTrain:
+    def test_no_legacy_no_train_gives_defaults(self):
+        assert resolve_train(None, caller="f") is DEFAULT_TRAIN_OPTIONS
+
+    def test_train_passes_through(self):
+        t = TrainOptions(overlap=True)
+        assert resolve_train(t, caller="f") is t
+
+    def test_legacy_warns_and_lands_on_fields(self):
+        with pytest.deprecated_call(match="f: arena="):
+            t = resolve_train(None, caller="f", arena=False, dtype=UNSET)
+        assert t.arena is False
+
+    def test_legacy_plus_train_rejected(self):
+        with pytest.raises(TypeError, match="not both"), warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            resolve_train(TrainOptions(), caller="f", arena=False)
+
+
+class TestShims:
+    def test_sequential_build_arena_kwarg_warns(self):
+        model = Sequential([Dense(2)])
+        with pytest.deprecated_call(match="arena="):
+            model.build((3,), arena=False)
+        assert model.arena is None
+
+    def test_sequential_build_dtype_kwarg_warns(self):
+        model = Sequential([Dense(2)])
+        with pytest.deprecated_call(match="dtype="):
+            model.build((3,), dtype="float32")
+        assert model.dtype == np.dtype(np.float32)
+
+    def test_build_model_legacy_kwargs_warn(self):
+        from repro.candle import get_benchmark
+
+        bench = get_benchmark("nt3", scale=0.004, sample_scale=0.05)
+        with pytest.deprecated_call(match="NT3.build_model"):
+            model = bench.build_model(arena=False)
+        assert model.arena is None
+
+    def test_build_model_train_is_silent(self):
+        from repro.candle import get_benchmark
+
+        bench = get_benchmark("nt3", scale=0.004, sample_scale=0.05)
+        model = bench.build_model(train=TrainOptions(dtype="float32"))
+        assert model.arena is not None
+        assert model.dtype == np.dtype(np.float32)
+
+    def test_build_rejects_both_forms(self):
+        model = Sequential([Dense(2)])
+        with pytest.raises(TypeError, match="not both"), warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            model.build((3,), train=TrainOptions(), arena=False)
+
+    def test_run_parallel_benchmark_legacy_collective_warns(self):
+        from repro.candle import get_benchmark
+        from repro.core.parallel import run_parallel_benchmark
+        from repro.core.scaling import strong_scaling_plan
+
+        bench = get_benchmark("nt3", scale=0.004, sample_scale=0.1)
+        plan = strong_scaling_plan(bench.spec, 1, total_epochs=1)
+        with pytest.deprecated_call(match="collective="):
+            run_parallel_benchmark(
+                bench, plan, seed=3, collective=CollectiveOptions()
+            )
+
+    def test_single_rank_fit_with_overlap_falls_back(self):
+        """overlap=True on one rank: no scheduler, training still runs."""
+        from repro import hvd
+
+        hvd.init()
+        try:
+            model = Sequential([Dense(4, activation="relu"), Dense(2)])
+            train = TrainOptions(overlap=True)
+            model.build((6,), seed=0, train=train)
+            model.compile(
+                hvd.DistributedOptimizer(SGD(lr=0.1), train=train), "mse"
+            )
+            rng = np.random.default_rng(0)
+            x = rng.normal(size=(16, 6))
+            y = rng.normal(size=(16, 2))
+            model.fit(x, y, batch_size=8, epochs=1, train=train)
+            assert model.last_overlap_stats is None
+            assert model._overlap is None
+        finally:
+            hvd.shutdown()

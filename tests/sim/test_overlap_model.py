@@ -1,0 +1,78 @@
+"""The simulator's overlapped-timeline pricing (PR 7).
+
+``exposed_comm_seconds``/``overlap_fraction`` are the closed-form model
+of the wait-free scheduler: hide up to ``efficiency`` of the allreduce
+behind the backward window, expose the rest at the drain fence.
+"""
+
+import pytest
+
+from repro.candle.nt3 import NT3_SPEC
+from repro.core.scaling import weak_scaling_plan
+from repro.sim.computemodel import (
+    OVERLAP_EFFICIENCY,
+    ComputeModel,
+    exposed_comm_seconds,
+    overlap_fraction,
+)
+from repro.sim.runner import ScaledRunSimulator
+from repro.train import TrainOptions
+
+
+class TestClosedForm:
+    def test_comm_bound_hides_efficiency_share(self):
+        # backward window is huge: the efficiency cap binds
+        assert exposed_comm_seconds(1.0, 100.0, 0.7) == pytest.approx(0.3)
+        assert overlap_fraction(1.0, 100.0, 0.7) == pytest.approx(0.7)
+
+    def test_backward_bound_hides_the_window(self):
+        # tiny backward window: only that much can hide
+        assert exposed_comm_seconds(1.0, 0.1, 0.7) == pytest.approx(0.9)
+        assert overlap_fraction(1.0, 0.1, 0.7) == pytest.approx(0.1)
+
+    def test_no_comm_no_fraction(self):
+        assert exposed_comm_seconds(0.0, 1.0) == 0.0
+        assert overlap_fraction(0.0, 1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exposed_comm_seconds(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            exposed_comm_seconds(1.0, 1.0, efficiency=1.5)
+
+    def test_backward_is_two_thirds_of_math(self):
+        cm = ComputeModel(ScaledRunSimulator("summit").machine)
+        step_math = 20 * cm.per_sample_seconds(NT3_SPEC)
+        assert cm.backward_seconds(NT3_SPEC, 20) == pytest.approx(
+            2.0 / 3.0 * step_math
+        )
+
+
+class TestRunnerIntegration:
+    def test_train_options_drive_the_simulator(self):
+        on = ScaledRunSimulator("summit", train=TrainOptions(overlap=True))
+        off = ScaledRunSimulator("summit", train=TrainOptions(overlap=False))
+        assert on.overlap and not off.overlap
+        plan = weak_scaling_plan(NT3_SPEC, 48)
+        a = on.run(NT3_SPEC, plan, keep_profiles=False)
+        b = off.run(NT3_SPEC, plan, keep_profiles=False)
+        assert a.train_comm_s < b.train_comm_s
+        assert 0.0 < a.overlap_fraction <= OVERLAP_EFFICIENCY
+        assert b.overlap_fraction == 0.0
+        assert "overlap_frac" in a.as_row()
+
+    def test_legacy_kwargs_still_work(self):
+        sim = ScaledRunSimulator("summit", overlap=False)
+        assert sim.overlap is False and sim.train is None
+
+    def test_exposed_matches_closed_form(self):
+        sim = ScaledRunSimulator("summit", train=TrainOptions(overlap=True))
+        plan = weak_scaling_plan(NT3_SPEC, 48)
+        comm = sim.allreduce_step_seconds(NT3_SPEC, plan.nworkers)
+        backward = sim.compute.backward_seconds(NT3_SPEC, plan.batch_size)
+        assert sim.effective_step_comm_seconds(
+            NT3_SPEC, plan.nworkers, plan.batch_size
+        ) == pytest.approx(exposed_comm_seconds(comm, backward))
+        assert sim.step_overlap_fraction(
+            NT3_SPEC, plan.nworkers, plan.batch_size
+        ) == pytest.approx(overlap_fraction(comm, backward))
