@@ -137,14 +137,29 @@ def run_benchmark(
                 loss,
                 metrics=metric_names,
             )
+            fit_x, fit_y = data.x_train, data.y_train
+            if getattr(load_method, "prefetch", False):
+                # LoaderConfig(prefetch=True): feed epochs from a
+                # background loader, shard-shuffled by shuffle_seed
+                from repro.ingest.prefetch import EpochPrefetcher
+
+                fit_x = EpochPrefetcher.from_config(
+                    data.x_train, data.y_train, n_epochs, load_method
+                )
+                fit_y = None
             history = model.fit(
-                data.x_train,
-                data.y_train,
+                fit_x,
+                fit_y,
                 batch_size=min(batch_size or spec.batch_size, len(data.x_train)),
                 epochs=n_epochs,
                 validation_data=(data.x_test, data.y_test) if validation else None,
                 train=train,
             )
+            if fit_y is None and model.last_prefetch_stats is not None:
+                sp_train.set_attrs(
+                    prefetch_hidden_s=model.last_prefetch_stats.hidden_s,
+                    prefetch_wait_s=model.last_prefetch_stats.wait_s,
+                )
 
         # ---- phase 3: prediction and evaluation --------------------------
         with tracer.span("eval") as sp_eval:

@@ -15,7 +15,47 @@ import numpy as np
 
 from repro.frame.dtypes import cast_to, dtype_of_array, promote
 
-__all__ = ["DataFrame", "concat"]
+__all__ = ["DataFrame", "concat", "mmap_base", "resident_nbytes"]
+
+
+def mmap_base(arr) -> Optional[np.memmap]:
+    """The ``np.memmap`` ultimately backing ``arr``, or None.
+
+    Column views taken off a memory-mapped cache block (slices, 2-D
+    column selections, sub-frame shards) keep the mapping alive through
+    their ``base`` chain; this walks the chain so accounting code can
+    tell "bytes in shared page cache" from "bytes this process owns".
+    """
+    node = arr
+    while isinstance(node, np.ndarray):
+        if isinstance(node, np.memmap):
+            return node
+        node = node.base
+    return None
+
+
+def resident_nbytes(frame: "DataFrame") -> int:
+    """Bytes of column storage this process *owns* (heap, not page cache).
+
+    Memory-mapped columns count zero — their pages live in the shared
+    OS page cache, so N ranks of a node mapping the same cache block
+    pay for it once. In-memory columns are charged by their owning base
+    buffer, deduplicated, so views of one block aren't double-counted.
+    This is the per-rank number the zero-copy ingest path is judged by
+    (``memory_usage`` stays the logical column-bytes total).
+    """
+    seen: set[int] = set()
+    total = 0
+    for arr in frame._columns.values():
+        if mmap_base(arr) is not None:
+            continue
+        owner = arr
+        while isinstance(owner.base, np.ndarray):
+            owner = owner.base
+        if id(owner) not in seen:
+            seen.add(id(owner))
+            total += owner.nbytes
+    return total
 
 
 class DataFrame:
@@ -139,6 +179,10 @@ class DataFrame:
     def memory_usage(self) -> int:
         """Total bytes held by column buffers."""
         return int(sum(a.nbytes for a in self._columns.values()))
+
+    def resident_nbytes(self) -> int:
+        """Owned (non-memory-mapped) bytes; see :func:`resident_nbytes`."""
+        return resident_nbytes(self)
 
     def to_csv(self, path, header: bool = False, float_fmt: str = "%.6g") -> int:
         """Write the frame to a CSV file; returns bytes written."""

@@ -15,6 +15,9 @@ file formats the rest of the way:
 - :mod:`repro.ingest.shard` — per-rank row shards with an optional
   allgather, so N SPMD ranks parse 1/N of the text each instead of N
   full copies (the mechanism behind the paper's broadcast skew).
+- :mod:`repro.ingest.prefetch` — double-buffered background epoch
+  loading with seeded, bit-reproducible shard-granular shuffling, so
+  epoch N+1's data work hides behind epoch N's compute.
 """
 
 from repro.ingest.benchmark import as_config, load_benchmark_data
@@ -26,7 +29,20 @@ from repro.ingest.config import (
     ShardSpec,
 )
 from repro.ingest.parallel import newline_spans, read_csv_parallel
-from repro.ingest.shard import read_csv_shard, shard_spans, union_shards
+from repro.ingest.prefetch import (
+    DEFAULT_SHARD_ROWS,
+    EpochPrefetcher,
+    PrefetchStats,
+    epoch_shard_order,
+    shard_shuffled_view,
+)
+from repro.ingest.shard import (
+    read_csv_shard,
+    shard_frame,
+    shard_row_slice,
+    shard_spans,
+    union_shards,
+)
 from repro.ingest.source import (
     INGEST_METHODS,
     DataSource,
@@ -51,7 +67,14 @@ __all__ = [
     "read_csv_shard",
     "newline_spans",
     "shard_spans",
+    "shard_row_slice",
+    "shard_frame",
     "union_shards",
+    "EpochPrefetcher",
+    "PrefetchStats",
+    "epoch_shard_order",
+    "shard_shuffled_view",
+    "DEFAULT_SHARD_ROWS",
     "load_benchmark_data",
     "as_config",
 ]

@@ -68,6 +68,15 @@ class LoaderConfig:
     cache_dir: Optional[str] = None
     refresh_cache: bool = False
     shard: Optional[ShardSpec] = None
+    #: overlap epoch-N+1 data preparation with epoch-N compute via a
+    #: background :class:`repro.ingest.prefetch.EpochPrefetcher`
+    prefetch: bool = False
+    #: bounded hand-off queue depth (2 = classic double buffering)
+    prefetch_depth: int = 2
+    #: seed of the per-epoch shard-granular shuffle; the same seed gives
+    #: the same epoch order on every rank (bit-reproducible shuffling).
+    #: None keeps the trainer's own shuffle (prefetch then disables it).
+    shuffle_seed: Optional[int] = None
 
     def __post_init__(self):
         if not self.method or not isinstance(self.method, str):
@@ -78,6 +87,20 @@ class LoaderConfig:
             raise ValueError(f"num_workers must be >= 0, got {self.num_workers}")
         if self.block_bytes <= 0:
             raise ValueError(f"block_bytes must be positive, got {self.block_bytes}")
+        if not isinstance(self.prefetch, bool):
+            raise ValueError(f"prefetch must be a bool, got {self.prefetch!r}")
+        if not 1 <= self.prefetch_depth <= 64:
+            raise ValueError(
+                f"prefetch_depth must be in [1, 64], got {self.prefetch_depth}"
+            )
+        if self.shuffle_seed is not None:
+            if not isinstance(self.shuffle_seed, int) or isinstance(
+                self.shuffle_seed, bool
+            ) or self.shuffle_seed < 0:
+                raise ValueError(
+                    f"shuffle_seed must be a non-negative int or None, "
+                    f"got {self.shuffle_seed!r}"
+                )
 
     # -- derived views -----------------------------------------------------
     @property

@@ -24,7 +24,46 @@ from repro.frame.dataframe import DataFrame, concat
 from repro.ingest.config import LoaderConfig, ShardSpec
 from repro.ingest.parallel import _resolve_names, newline_spans, parse_span
 
-__all__ = ["shard_spans", "read_csv_shard", "union_shards", "load_sharded"]
+__all__ = [
+    "shard_spans",
+    "read_csv_shard",
+    "union_shards",
+    "load_sharded",
+    "shard_row_slice",
+    "shard_frame",
+]
+
+
+def shard_row_slice(n_rows: int, rank: int, world_size: int) -> slice:
+    """Rank ``rank``'s contiguous row slice of an ``n_rows`` frame.
+
+    Balanced to within one row, in rank order, covering every row
+    exactly once. Returned as a ``slice`` (not an index array) so
+    applying it to a memory-mapped column yields a zero-copy view —
+    the mechanism that lets a node's ranks share page-cache pages
+    instead of each materializing the full array.
+    """
+    if world_size <= 0:
+        raise ValueError(f"world_size must be positive, got {world_size}")
+    if not 0 <= rank < world_size:
+        raise ValueError(f"rank {rank} out of range for world_size {world_size}")
+    if n_rows < 0:
+        raise ValueError(f"n_rows must be non-negative, got {n_rows}")
+    base, extra = divmod(n_rows, world_size)
+    start = rank * base + min(rank, extra)
+    stop = start + base + (1 if rank < extra else 0)
+    return slice(start, stop)
+
+
+def shard_frame(frame: DataFrame, rank: int, world_size: int) -> DataFrame:
+    """This rank's zero-copy row shard of an in-memory or mmap frame.
+
+    Every column of the result is a slice view of the parent column —
+    memory-mapped columns stay memory-mapped (``resident_nbytes`` of
+    the shard is 0), and the rank-ordered union of all shards equals
+    the full frame row-for-row.
+    """
+    return frame.iloc(shard_row_slice(len(frame), rank, world_size))
 
 
 def shard_spans(path, world_size: int) -> list[tuple[int, int]]:

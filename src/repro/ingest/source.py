@@ -203,16 +203,36 @@ def _load_parallel(path, config: LoaderConfig, comm=None) -> DataFrame:
 
 @register_method("cached")
 def _load_cached(path, config: LoaderConfig, comm=None):
-    """Column-store cache wrapper; parses (in parallel) only on miss."""
+    """Column-store cache wrapper; parses (in parallel) only on miss.
+
+    With ``config.shard`` set, the rank's contiguous row shard is
+    returned as a zero-copy slice of the memory-mapped cache blocks —
+    N ranks of a node share the block's page-cache pages instead of
+    each materializing the full array, so per-rank resident bytes drop
+    to ~1/N (``ShardSpec.allgather`` is ignored here: the mapping *is*
+    the shared full frame). A miss parses and stores the full file,
+    then re-reads through the mmap so the shard is view-backed too.
+    """
+    from repro.ingest.shard import shard_frame
+
     cache = ColumnStoreCache.for_source(path, config.cache_dir)
     if config.refresh_cache:
         cache.evict(path)
     frame = cache.lookup(path)
-    if frame is not None:
-        return frame, True
-    fresh = _load_parallel(path, config, comm)
-    cache.store(path, fresh)
-    return fresh, False
+    hit = frame is not None
+    if not hit:
+        fresh = _load_parallel(path, config, comm)
+        cache.store(path, fresh)
+        frame = cache.lookup(path)
+        if frame is None:  # cache dir unwritable/raced: fall back
+            frame = fresh
+        else:
+            frame.parse_stats = getattr(fresh, "parse_stats", None)
+    if config.shard is not None:
+        shard = shard_frame(frame, config.shard.rank, config.shard.world_size)
+        shard.parse_stats = getattr(frame, "parse_stats", None)
+        return shard, hit
+    return frame, hit
 
 
 @register_method("sharded")

@@ -53,6 +53,8 @@ class Sequential:
         self._overlap = None
         #: OverlapStats from the most recent overlapped fit (else None)
         self.last_overlap_stats = None
+        #: PrefetchStats from the most recent prefetched fit (else None)
+        self.last_prefetch_stats = None
         for layer in layers or []:
             self.add(layer)
 
@@ -266,7 +268,7 @@ class Sequential:
     def fit(
         self,
         x: np.ndarray,
-        y: np.ndarray,
+        y: np.ndarray | None = None,
         batch_size: int = 32,
         epochs: int = 1,
         shuffle: bool = True,
@@ -282,17 +284,40 @@ class Sequential:
         ``val_*`` entries when ``validation_data`` is given. Returns the
         ``History`` callback, as Keras does.
 
+        ``x`` may instead be an
+        :class:`repro.ingest.prefetch.EpochPrefetcher` (with ``y=None``):
+        each epoch's already-shuffled ``(x, y)`` pair is pulled from the
+        prefetcher's background loader while the previous epoch
+        computes, the prefetcher's epoch count wins over ``epochs``, and
+        the prefetcher is closed when the fit ends — including on a
+        mid-epoch exception, so no loader thread outlives the fit. The
+        per-run :class:`~repro.ingest.prefetch.PrefetchStats` land on
+        ``self.last_prefetch_stats``.
+
         ``train`` is an optional :class:`repro.train.TrainOptions`; with
         ``overlap=True`` on an arena-built model under a multi-rank
         distributed optimizer, an :class:`repro.overlap.OverlapScheduler`
         is installed for the duration of the fit, overlapping each
         step's gradient allreduce with its backward pass.
         """
+        from repro.ingest.prefetch import EpochPrefetcher
+
         self._require_compiled()
-        if len(x) != len(y):
-            raise ValueError(f"x and y disagree on length: {len(x)} vs {len(y)}")
-        if len(x) == 0:
-            raise ValueError("fit called with empty dataset")
+        prefetcher = x if isinstance(x, EpochPrefetcher) else None
+        if prefetcher is not None:
+            if y is not None:
+                raise ValueError("y must be None when x is an EpochPrefetcher")
+            if prefetcher.epochs_remaining <= 0:
+                raise ValueError("prefetcher has no epochs left to train on")
+        else:
+            if y is None:
+                raise ValueError("y is required unless x is an EpochPrefetcher")
+            if len(x) != len(y):
+                raise ValueError(
+                    f"x and y disagree on length: {len(x)} vs {len(y)}"
+                )
+            if len(x) == 0:
+                raise ValueError("fit called with empty dataset")
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         if epochs < 0:
@@ -311,6 +336,11 @@ class Sequential:
                 self, self.optimizer, train=train
             )
         try:
+            if prefetcher is not None:
+                return self._fit_prefetched(
+                    prefetcher, batch_size, validation_data,
+                    cb_list, history, verbose, initial_epoch,
+                )
             return self._fit_loop(
                 x, y, batch_size, epochs, shuffle, validation_data,
                 cb_list, history, verbose, initial_epoch,
@@ -319,6 +349,34 @@ class Sequential:
             if overlap is not None:
                 overlap.close()
                 self.last_overlap_stats = overlap.stats
+
+    def _epoch_pass(self, x, y, order, batch_size, cb_list) -> dict[str, float]:
+        """One pass over ``(x, y)`` in ``order``; mean of batch logs."""
+        sums: dict[str, float] = {}
+        batches = 0
+        for start in range(0, len(x), batch_size):
+            idx = order[start : start + batch_size]
+            cb_list.on_batch_begin(batches, {"size": len(idx)})
+            logs = self.train_on_batch(x[idx], y[idx])
+            cb_list.on_batch_end(batches, logs)
+            for key, value in logs.items():
+                sums[key] = sums.get(key, 0.0) + value
+            batches += 1
+        return {key: value / batches for key, value in sums.items()}
+
+    def _close_epoch(
+        self, epoch, epoch_logs, t0, batch_size, validation_data,
+        cb_list, verbose, last_epoch,
+    ) -> None:
+        if validation_data is not None:
+            vx, vy = validation_data
+            val = self.evaluate(vx, vy, batch_size=batch_size)
+            epoch_logs.update({f"val_{key}": value for key, value in val.items()})
+        epoch_logs["epoch_time"] = time.perf_counter() - t0
+        cb_list.on_epoch_end(epoch, epoch_logs)
+        if verbose:
+            stats = " ".join(f"{key}={value:.4f}" for key, value in epoch_logs.items())
+            print(f"epoch {epoch + 1}/{last_epoch}: {stats}")
 
     def _fit_loop(
         self, x, y, batch_size, epochs, shuffle, validation_data,
@@ -330,28 +388,40 @@ class Sequential:
             t0 = time.perf_counter()
             cb_list.on_epoch_begin(epoch, {})
             order = self._shuffle_rng.permutation(n) if shuffle else np.arange(n)
-            sums: dict[str, float] = {}
-            batches = 0
-            for start in range(0, n, batch_size):
-                idx = order[start : start + batch_size]
-                cb_list.on_batch_begin(batches, {"size": len(idx)})
-                logs = self.train_on_batch(x[idx], y[idx])
-                cb_list.on_batch_end(batches, logs)
-                for key, value in logs.items():
-                    sums[key] = sums.get(key, 0.0) + value
-                batches += 1
-            epoch_logs = {key: value / batches for key, value in sums.items()}
-            if validation_data is not None:
-                vx, vy = validation_data
-                val = self.evaluate(vx, vy, batch_size=batch_size)
-                epoch_logs.update({f"val_{key}": value for key, value in val.items()})
-            epoch_logs["epoch_time"] = time.perf_counter() - t0
-            cb_list.on_epoch_end(epoch, epoch_logs)
-            if verbose:
-                stats = " ".join(f"{key}={value:.4f}" for key, value in epoch_logs.items())
-                print(f"epoch {epoch + 1}/{initial_epoch + epochs}: {stats}")
+            epoch_logs = self._epoch_pass(x, y, order, batch_size, cb_list)
+            self._close_epoch(
+                epoch, epoch_logs, t0, batch_size, validation_data,
+                cb_list, verbose, initial_epoch + epochs,
+            )
             if self.stop_training:
                 break
+        cb_list.on_train_end({})
+        return history
+
+    def _fit_prefetched(
+        self, prefetcher, batch_size, validation_data,
+        cb_list, history, verbose, initial_epoch,
+    ) -> History:
+        """Epochs fed by an EpochPrefetcher: already-shuffled pairs
+        arrive from the background loader; no extra shuffle here."""
+        epochs = prefetcher.epochs_remaining
+        cb_list.on_train_begin({})
+        try:
+            for epoch in range(initial_epoch, initial_epoch + epochs):
+                t0 = time.perf_counter()
+                cb_list.on_epoch_begin(epoch, {})
+                ex, ey = prefetcher.next_epoch()
+                order = np.arange(len(ex))
+                epoch_logs = self._epoch_pass(ex, ey, order, batch_size, cb_list)
+                self._close_epoch(
+                    epoch, epoch_logs, t0, batch_size, validation_data,
+                    cb_list, verbose, initial_epoch + epochs,
+                )
+                if self.stop_training:
+                    break
+        finally:
+            prefetcher.close()
+            self.last_prefetch_stats = prefetcher.stats
         cb_list.on_train_end({})
         return history
 

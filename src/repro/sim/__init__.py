@@ -38,7 +38,15 @@ from repro.sim.faultmodel import (
     simulate_resilient_run,
     young_daly_interval,
 )
-from repro.sim.iomodel import FileShape, IoModel, benchmark_files
+from repro.sim.iomodel import (
+    FileShape,
+    IoModel,
+    PREFETCH_EFFICIENCY,
+    benchmark_files,
+    exposed_load_seconds,
+    prefetch_hidden_fraction,
+    prefetch_timeline_seconds,
+)
 from repro.sim.report import SimRunReport, improvement_percent
 from repro.sim.runner import ScaledRunSimulator, simulate_run
 
@@ -51,6 +59,10 @@ __all__ = [
     "IoModel",
     "FileShape",
     "benchmark_files",
+    "PREFETCH_EFFICIENCY",
+    "exposed_load_seconds",
+    "prefetch_hidden_fraction",
+    "prefetch_timeline_seconds",
     "SimRunReport",
     "improvement_percent",
     "ScaledRunSimulator",

@@ -37,10 +37,92 @@ from typing import Dict, Tuple
 from repro.candle.base import BenchmarkSpec
 from repro.cluster.machine import MachineSpec, ParseRates
 
-__all__ = ["FileShape", "IoModel", "benchmark_files", "LOAD_METHODS", "PAPER_METHODS"]
+__all__ = [
+    "FileShape",
+    "IoModel",
+    "benchmark_files",
+    "LOAD_METHODS",
+    "PAPER_METHODS",
+    "PREFETCH_EFFICIENCY",
+    "exposed_load_seconds",
+    "prefetch_hidden_fraction",
+    "prefetch_timeline_seconds",
+]
 
 #: the paper's original three-way comparison
 PAPER_METHODS = ("original", "chunked", "dask")
+
+#: share of a background epoch load that can actually hide behind the
+#: trainer's compute — the loader thread contends with the trainer for
+#: the interpreter between the NumPy regions that release it, the same
+#: kind of discount :data:`repro.sim.computemodel.OVERLAP_EFFICIENCY`
+#: applies to allreduce-behind-backward
+PREFETCH_EFFICIENCY = 0.85
+
+
+def exposed_load_seconds(
+    load_s: float, compute_s: float, efficiency: float = PREFETCH_EFFICIENCY
+) -> float:
+    """Per-epoch load time left on the critical path under prefetch.
+
+    While the trainer computes an epoch (``compute_s``), the background
+    loader prepares the next one; ``min(load_s * efficiency,
+    compute_s)`` of the load hides behind that compute and the rest is
+    exposed as ``prefetch_wait``. The analogue, one level up the stack,
+    of :func:`repro.sim.computemodel.exposed_comm_seconds`.
+    """
+    if load_s < 0 or compute_s < 0:
+        raise ValueError(
+            f"times must be non-negative, got load={load_s} compute={compute_s}"
+        )
+    if not 0 < efficiency <= 1:
+        raise ValueError(f"efficiency must be in (0, 1], got {efficiency}")
+    hidden = min(load_s * efficiency, compute_s)
+    return load_s - hidden
+
+
+def prefetch_timeline_seconds(
+    load_s: float,
+    compute_s: float,
+    epochs: int,
+    efficiency: float = PREFETCH_EFFICIENCY,
+) -> float:
+    """Wall time of ``epochs`` (load → train) rounds under prefetch.
+
+    Epoch 0's load has nothing to hide behind and is fully exposed;
+    each later epoch pays only its :func:`exposed_load_seconds`
+    remainder. With ``efficiency`` such that the load fully hides, the
+    timeline approaches ``load_s + epochs * compute_s`` — versus the
+    synchronous ``epochs * (load_s + compute_s)``.
+    """
+    if epochs < 0:
+        raise ValueError(f"epochs must be non-negative, got {epochs}")
+    if epochs == 0:
+        return 0.0
+    exposed = exposed_load_seconds(load_s, compute_s, efficiency)
+    return load_s + epochs * compute_s + (epochs - 1) * exposed
+
+
+def prefetch_hidden_fraction(
+    load_s: float,
+    compute_s: float,
+    epochs: int,
+    efficiency: float = PREFETCH_EFFICIENCY,
+) -> float:
+    """Share of total epoch-load time hidden behind compute.
+
+    Bounded above by ``(epochs - 1) / epochs`` — the first epoch is
+    always exposed — which is why the benchmark's ≥0.8 gate needs a
+    multi-epoch run even when every later load hides completely.
+    """
+    if epochs < 0:
+        raise ValueError(f"epochs must be non-negative, got {epochs}")
+    total = epochs * load_s
+    if total <= 0:
+        return 0.0
+    exposed = exposed_load_seconds(load_s, compute_s, efficiency)
+    hidden = (epochs - 1) * (load_s - exposed)
+    return hidden / total
 
 #: every modeled ingest method (the paper's three plus repro.ingest's
 #: parallel span decode, binary column-store cache, and row sharding)
@@ -200,6 +282,21 @@ class IoModel:
         return self.load_seconds(train, method, nclients) + self.load_seconds(
             test, method, nclients
         )
+
+    def prefetched_epochs_seconds(
+        self,
+        shape: FileShape,
+        method: str,
+        compute_s: float,
+        epochs: int,
+        nclients: int = 1,
+        efficiency: float = PREFETCH_EFFICIENCY,
+    ) -> float:
+        """Wall time of ``epochs`` per-epoch reloads of ``shape`` fed
+        through the background prefetcher while each epoch computes for
+        ``compute_s`` (see :func:`prefetch_timeline_seconds`)."""
+        load = self.load_seconds(shape, method, nclients)
+        return prefetch_timeline_seconds(load, compute_s, epochs, efficiency)
 
     def table_row(self, spec: BenchmarkSpec) -> Dict[str, float]:
         """One benchmark's Table 3/4 row: single-client seconds per file."""

@@ -1,0 +1,132 @@
+"""Zero-copy mmap sharding: view survival and resident-byte accounting."""
+
+import numpy as np
+import pytest
+
+from repro.frame import DataFrame, mmap_base, resident_nbytes
+from repro.ingest import (
+    DataSource,
+    LoaderConfig,
+    ShardSpec,
+    shard_frame,
+    shard_row_slice,
+)
+
+
+@pytest.fixture
+def cached_frame(mixed_csv, tmp_path):
+    """The mixed CSV loaded through the column-store cache (mmap-backed)."""
+    config = LoaderConfig(method="cached", cache_dir=str(tmp_path / "cache"))
+    source = DataSource(mixed_csv)
+    source.load(config)  # miss: parse + store
+    return source.load(config).frame, config, source
+
+
+# -- shard_row_slice ---------------------------------------------------------
+
+class TestShardRowSlice:
+    @pytest.mark.parametrize("n_rows,world", [(50, 6), (7, 3), (6, 6), (3, 6), (0, 4)])
+    def test_partitions_every_row_once(self, n_rows, world):
+        covered = []
+        for rank in range(world):
+            s = shard_row_slice(n_rows, rank, world)
+            covered.extend(range(n_rows)[s])
+        assert covered == list(range(n_rows))
+
+    def test_balanced_within_one_row(self):
+        sizes = [
+            shard_row_slice(50, r, 6).stop - shard_row_slice(50, r, 6).start
+            for r in range(6)
+        ]
+        assert max(sizes) - min(sizes) <= 1
+
+    @pytest.mark.parametrize(
+        "args", [(10, -1, 6), (10, 6, 6), (10, 0, 0), (-1, 0, 1)]
+    )
+    def test_validation(self, args):
+        with pytest.raises(ValueError):
+            shard_row_slice(*args)
+
+
+# -- mmap survival through the frame API -------------------------------------
+
+class TestMmapViews:
+    def test_cached_load_is_mmap_backed(self, cached_frame):
+        frame, _, _ = cached_frame
+        assert frame.resident_nbytes() == 0
+        assert frame.memory_usage() > 0
+        for name in frame.columns:
+            assert mmap_base(frame[name]) is not None
+
+    def test_column_access_and_slicing_stay_views(self, cached_frame):
+        frame, _, _ = cached_frame
+        col = frame[frame.columns[0]]
+        assert mmap_base(col) is not None
+        sub = frame.iloc(slice(10, 40))
+        assert sub.resident_nbytes() == 0
+        subset = frame[[frame.columns[0], frame.columns[1]]]
+        assert subset.resident_nbytes() == 0
+
+    def test_shard_frame_views_union_to_full(self, cached_frame):
+        frame, _, _ = cached_frame
+        shards = [shard_frame(frame, r, 6) for r in range(6)]
+        assert all(s.resident_nbytes() == 0 for s in shards)
+        assert sum(len(s) for s in shards) == len(frame)
+        from repro.frame import concat
+
+        rebuilt = concat(shards, axis=0, ignore_index=True)
+        assert rebuilt.equals(frame)
+
+    def test_datasource_shard_config_returns_zero_copy_shard(
+        self, mixed_csv, tmp_path
+    ):
+        config = LoaderConfig(
+            method="cached",
+            cache_dir=str(tmp_path / "cache"),
+            shard=ShardSpec(rank=2, world_size=6, allgather=False),
+        )
+        result = DataSource(mixed_csv).load(config)
+        full = DataSource(mixed_csv).load(LoaderConfig(method="chunked")).frame
+        assert result.frame.resident_nbytes() == 0
+        expected = full.iloc(shard_row_slice(len(full), 2, 6))
+        assert result.frame.equals(expected)
+
+    def test_cache_miss_also_returns_mmap_views(self, mixed_csv, tmp_path):
+        config = LoaderConfig(method="cached", cache_dir=str(tmp_path / "fresh"))
+        result = DataSource(mixed_csv).load(config)
+        assert result.cache_hit is False
+        assert result.frame.resident_nbytes() == 0
+
+    def test_cached_equals_chunked(self, cached_frame, mixed_csv):
+        frame, _, _ = cached_frame
+        chunked = DataSource(mixed_csv).load(LoaderConfig(method="chunked")).frame
+        assert frame.equals(chunked)
+
+
+# -- resident accounting -----------------------------------------------------
+
+class TestResidentAccounting:
+    def test_in_memory_frame_charges_owned_bytes(self):
+        frame = DataFrame({"a": np.zeros(100), "b": np.zeros(100, dtype=np.int64)})
+        assert frame.resident_nbytes() == 1600
+        assert frame.resident_nbytes() == frame.memory_usage()
+
+    def test_views_of_one_buffer_counted_once(self):
+        base = np.zeros((100, 2))
+        frame = DataFrame({"a": base[:, 0], "b": base[:, 1]})
+        assert frame.resident_nbytes() == base.nbytes
+
+    def test_slices_dont_double_count(self):
+        base = np.zeros(100)
+        frame = DataFrame({"a": base[:50], "b": base[50:]})
+        assert frame.resident_nbytes() == base.nbytes
+
+    def test_mmap_base_walks_view_chains(self, tmp_path):
+        path = tmp_path / "block.npy"
+        np.save(path, np.arange(200.0).reshape(100, 2))
+        mapped = np.load(path, mmap_mode="r")
+        assert mmap_base(np.asarray(mapped)[:, 0][10:20]) is not None
+        assert mmap_base(np.arange(10.0)) is None
+        # a copy materializes: the chain to the mmap is severed
+        assert mmap_base(np.asarray(mapped)[:, 0].copy()) is None
+        assert resident_nbytes(DataFrame({"m": mapped[:, 0]})) == 0

@@ -116,3 +116,85 @@ def test_table_row_keys(io_summit):
         "test_original",
         "test_chunked",
     }
+
+
+class TestPrefetchTimeline:
+    """The prefetch-overlapped load accounting (data plane v2)."""
+
+    def test_fully_hidden_when_compute_dominates(self):
+        from repro.sim.iomodel import exposed_load_seconds
+
+        assert exposed_load_seconds(2.0, 100.0, efficiency=1.0) == 0.0
+
+    def test_fully_exposed_when_no_compute(self):
+        from repro.sim.iomodel import exposed_load_seconds
+
+        assert exposed_load_seconds(2.0, 0.0) == 2.0
+
+    def test_efficiency_discount(self):
+        from repro.sim.iomodel import exposed_load_seconds
+
+        assert exposed_load_seconds(10.0, 100.0, efficiency=0.8) == pytest.approx(2.0)
+
+    def test_timeline_beats_synchronous(self):
+        from repro.sim.iomodel import prefetch_timeline_seconds
+
+        load, compute, epochs = 3.0, 10.0, 6
+        overlapped = prefetch_timeline_seconds(load, compute, epochs, efficiency=1.0)
+        synchronous = epochs * (load + compute)
+        assert overlapped == pytest.approx(load + epochs * compute)
+        assert overlapped < synchronous
+
+    def test_timeline_first_epoch_always_exposed(self):
+        from repro.sim.iomodel import prefetch_timeline_seconds
+
+        assert prefetch_timeline_seconds(3.0, 10.0, 1, efficiency=1.0) == pytest.approx(13.0)
+        assert prefetch_timeline_seconds(3.0, 10.0, 0) == 0.0
+
+    def test_hidden_fraction_bounded_by_first_epoch(self):
+        from repro.sim.iomodel import prefetch_hidden_fraction
+
+        # even with the load fully hidden in steady state, epoch 0 caps
+        # the fraction at (E-1)/E — the benchmark's >= 0.8 gate needs
+        # at least six epochs
+        for epochs in (2, 5, 6, 10):
+            frac = prefetch_hidden_fraction(1.0, 100.0, epochs, efficiency=1.0)
+            assert frac == pytest.approx((epochs - 1) / epochs)
+        assert prefetch_hidden_fraction(1.0, 100.0, 6, efficiency=1.0) >= 0.8
+        assert prefetch_hidden_fraction(1.0, 100.0, 4, efficiency=1.0) < 0.8
+
+    def test_hidden_fraction_degenerate(self):
+        from repro.sim.iomodel import prefetch_hidden_fraction
+
+        assert prefetch_hidden_fraction(0.0, 1.0, 4) == 0.0
+        assert prefetch_hidden_fraction(1.0, 1.0, 0) == 0.0
+
+    def test_validation(self):
+        from repro.sim.iomodel import (
+            exposed_load_seconds,
+            prefetch_hidden_fraction,
+            prefetch_timeline_seconds,
+        )
+
+        with pytest.raises(ValueError):
+            exposed_load_seconds(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            exposed_load_seconds(1.0, 1.0, efficiency=0.0)
+        with pytest.raises(ValueError):
+            prefetch_timeline_seconds(1.0, 1.0, -1)
+        with pytest.raises(ValueError):
+            prefetch_hidden_fraction(1.0, 1.0, -2)
+
+    def test_iomodel_prices_nt3_prefetched_epochs(self, io_summit):
+        from repro.sim.iomodel import prefetch_timeline_seconds
+
+        train, _ = benchmark_files(NT3_SPEC)
+        load = io_summit.load_seconds(train, "cached")
+        compute_s, epochs = 30.0, 6
+        total = io_summit.prefetched_epochs_seconds(
+            train, "cached", compute_s, epochs
+        )
+        assert total == pytest.approx(
+            prefetch_timeline_seconds(load, compute_s, epochs)
+        )
+        assert total < epochs * (load + compute_s) + load

@@ -71,8 +71,9 @@ class TestLoadGates:
     def test_repo_gates_are_wellformed(self):
         rules = perf_gate.load_gates(REPO / "docs" / "results" / "gates.json")
         # every gated artifact is one CI actually produces
-        produced = {"BENCH_trainstep.json", "BENCH_telemetry.json",
-                    "BENCH_comms.json", "BENCH_ft_comms.json"}
+        produced = {"BENCH_ingest.json", "BENCH_trainstep.json",
+                    "BENCH_telemetry.json", "BENCH_comms.json",
+                    "BENCH_ft_comms.json"}
         assert {r["file"] for r in rules} <= produced
 
 
