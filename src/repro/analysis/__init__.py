@@ -12,7 +12,12 @@ The measurement toolkit the paper's evaluation uses:
   experiment harnesses.
 """
 
-from repro.analysis.energy import EnergyComparison, compare_runs
+from repro.analysis.energy import (
+    EnergyComparison,
+    compare_runs,
+    energy_delay_product,
+    pareto_front,
+)
 from repro.analysis.profiling import PhaseProfiler, profile_callable
 from repro.analysis.plotting import bar_chart, line_chart, power_strip
 from repro.analysis.report import format_series, format_table
@@ -30,6 +35,8 @@ __all__ = [
     "communication_summary",
     "EnergyComparison",
     "compare_runs",
+    "energy_delay_product",
+    "pareto_front",
     "format_table",
     "format_series",
     "line_chart",

@@ -16,14 +16,22 @@ and power models that :mod:`repro.sim` composes into full runs.
 """
 
 from repro.cluster.affinity import summit_gpu_pinning, theta_session_config, theta_thread_env
-from repro.cluster.devices import CpuSpec, GpuSpec, DevicePowerModel
+from repro.cluster.devices import (
+    CpuSpec,
+    GpuSpec,
+    DevicePowerModel,
+    KNL_DVFS,
+    V100_DVFS,
+)
 from repro.cluster.filesystem import FilesystemSpec, IoSkewModel
 from repro.cluster.machine import MachineSpec, SUMMIT, THETA, get_machine
 from repro.cluster.power import (
     EnergyAccount,
+    FrequencyLadder,
     PhasePowerProfile,
     PowerMeter,
     PowerSample,
+    PowerState,
     trapezoid_energy,
 )
 from repro.cluster.jsrun import ResourceSet, partition_node, render_layout
@@ -44,6 +52,10 @@ __all__ = [
     "PhasePowerProfile",
     "PowerMeter",
     "PowerSample",
+    "PowerState",
+    "FrequencyLadder",
+    "V100_DVFS",
+    "KNL_DVFS",
     "EnergyAccount",
     "trapezoid_energy",
     "ResourceSet",

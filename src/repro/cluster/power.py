@@ -1,4 +1,4 @@
-"""Power sampling and energy accounting.
+"""Power sampling, energy accounting, and DVFS power states.
 
 The paper measures GPU power with ``nvidia-smi`` at 1 sample/s on
 Summit and node power with PoLiMEr/CapMC at ~2 samples/s on Theta, then
@@ -12,12 +12,22 @@ one would post-process real meter output.
 The paper's headline energy effect falls out of this arithmetic: data
 loading is a *low-power* phase, so shortening it raises *average* power
 (Table 5a: +68.77%) while cutting *energy* (Table 5b: −55.93%).
+
+The DVFS layer (:class:`PowerState` / :class:`FrequencyLadder`) models
+the operating points a device exposes to a power-aware runtime: each
+state scales the device's *sustained compute rate* and its *active*
+(above-idle) draw, leaving the idle floor alone — dynamic power goes
+roughly as f·V², static leakage does not move with the clock. The
+simulator's compute and power models both consume a state, so dropping
+a rung stretches compute phases *and* lowers their wattage in one
+coherent move; a power-cap scheduler walks the ladder downwards until a
+node fits its budget (:mod:`repro.sim.powercap`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,6 +37,8 @@ __all__ = [
     "PowerMeter",
     "trapezoid_energy",
     "EnergyAccount",
+    "PowerState",
+    "FrequencyLadder",
 ]
 
 
@@ -53,11 +65,128 @@ class PowerSample:
     power_w: float
 
 
+@dataclass(frozen=True)
+class PowerState:
+    """One DVFS operating point of a compute device.
+
+    ``compute_scale`` multiplies the device's sustained compute rate at
+    this state (1.0 = the nominal, fully-clocked calibration);
+    ``power_scale`` multiplies the *active* share of every draw — the
+    watts above the idle floor — capturing the idle/active split of
+    real DVFS: dynamic power collapses with frequency and voltage,
+    static leakage and fans do not.
+    """
+
+    name: str
+    frequency_ghz: float
+    compute_scale: float
+    power_scale: float
+
+    def __post_init__(self):
+        if self.frequency_ghz <= 0:
+            raise ValueError(
+                f"state {self.name!r}: frequency must be positive, "
+                f"got {self.frequency_ghz}"
+            )
+        for field in ("compute_scale", "power_scale"):
+            v = getattr(self, field)
+            if not 0.0 < v <= 1.0:
+                raise ValueError(
+                    f"state {self.name!r}: {field} must be in (0, 1], got {v}"
+                )
+
+    def apply(self, model):
+        """The device's :class:`~repro.cluster.devices.DevicePowerModel`
+        rescaled to this state: idle untouched, active draw scaled.
+
+        ``comm_w``'s 0 sentinel (fall back to ``io_w``) is preserved.
+        """
+        idle = model.idle_w
+
+        def active(w: float) -> float:
+            return idle + (w - idle) * self.power_scale
+
+        return type(model)(
+            idle_w=idle,
+            io_w=active(model.io_w),
+            compute_base_w=active(model.compute_base_w),
+            compute_span_w=model.compute_span_w * self.power_scale,
+            comm_w=active(model.comm_w) if model.comm_w > 0 else 0.0,
+        )
+
+
+@dataclass(frozen=True)
+class FrequencyLadder:
+    """A device's validated DVFS ladder, lowest to highest frequency.
+
+    Monotonicity is enforced at construction: walking up the ladder,
+    frequency, compute rate, and active power must all strictly
+    increase, and the top rung must be the nominal operating point
+    (``compute_scale == power_scale == 1``) so a run pinned to the top
+    state reproduces the un-laddered calibration bit-for-bit.
+    """
+
+    states: Tuple[PowerState, ...]
+
+    def __post_init__(self):
+        states = tuple(self.states)
+        object.__setattr__(self, "states", states)
+        if not states:
+            raise ValueError("a frequency ladder needs at least one state")
+        names = [s.name for s in states]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate state names in ladder: {names}")
+        for lo, hi in zip(states, states[1:]):
+            for field in ("frequency_ghz", "compute_scale", "power_scale"):
+                if not getattr(lo, field) < getattr(hi, field):
+                    raise ValueError(
+                        f"ladder not monotone: {field} does not increase "
+                        f"from {lo.name!r} to {hi.name!r}"
+                    )
+        top = states[-1]
+        if top.compute_scale != 1.0 or top.power_scale != 1.0:
+            raise ValueError(
+                f"top state {top.name!r} must be the nominal point "
+                "(compute_scale == power_scale == 1.0)"
+            )
+
+    def __iter__(self):
+        return iter(self.states)
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    @property
+    def names(self) -> List[str]:
+        """State names, lowest frequency first."""
+        return [s.name for s in self.states]
+
+    @property
+    def max_state(self) -> PowerState:
+        return self.states[-1]
+
+    @property
+    def min_state(self) -> PowerState:
+        return self.states[0]
+
+    def state(self, name: str) -> PowerState:
+        for s in self.states:
+            if s.name == name:
+                return s
+        raise ValueError(f"unknown power state {name!r}; known: {self.names}")
+
+    def demote(self, state: PowerState) -> Optional[PowerState]:
+        """The next rung down, or None from the ladder's floor."""
+        idx = self.states.index(state)
+        return self.states[idx - 1] if idx > 0 else None
+
+
 class PhasePowerProfile:
     """Piecewise-constant power over labelled, contiguous phases."""
 
     def __init__(self):
         self._phases: list[tuple[str, float, float, float]] = []  # name, t0, t1, W
+        self._lookup: Optional[tuple[np.ndarray, np.ndarray, np.ndarray]] = None
 
     def add_phase(self, name: str, start_s: float, end_s: float, power_w: float) -> None:
         """Append a phase; phases may not overlap or run backwards."""
@@ -71,6 +200,7 @@ class PhasePowerProfile:
                 f"ends at {self._phases[-1][2]}"
             )
         self._phases.append((name, start_s, end_s, power_w))
+        self._lookup = None
 
     @property
     def phases(self) -> list[tuple[str, float, float, float]]:
@@ -81,14 +211,40 @@ class PhasePowerProfile:
             return 0.0
         return self._phases[-1][2] - self._phases[0][1]
 
+    def _edges(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached (starts, ends, watts) arrays for binary-search lookup."""
+        if self._lookup is None:
+            self._lookup = (
+                np.array([t0 for _, t0, _, _ in self._phases]),
+                np.array([t1 for _, _, t1, _ in self._phases]),
+                np.array([w for _, _, _, w in self._phases]),
+            )
+        return self._lookup
+
+    def power_at_many(self, times) -> np.ndarray:
+        """Vectorized :meth:`power_at` over an array of times.
+
+        A ``searchsorted`` lookup over precomputed phase edges —
+        O((samples + phases)·log phases) where the per-tick linear scan
+        was O(samples × phases), which made metering a multi-hour DVFS
+        profile (thousands of cap-induced state-change phases)
+        quadratic. Bit-identical to the scan, including its gap and
+        endpoint semantics: 0 in inter-phase gaps and outside the
+        profile, and the final phase's wattage at exactly its end time.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        if not self._phases:
+            return np.zeros(times.shape)
+        starts, ends, watts = self._edges()
+        idx = np.searchsorted(starts, times, side="right") - 1
+        inside = idx >= 0
+        safe = np.where(inside, idx, 0)
+        out = np.where(inside & (times < ends[safe]), watts[safe], 0.0)
+        return np.where(times == ends[-1], watts[-1], out)
+
     def power_at(self, t: float) -> float:
         """Instantaneous draw at time ``t`` (0 outside any phase)."""
-        for _, t0, t1, w in self._phases:
-            if t0 <= t < t1:
-                return w
-        if self._phases and t == self._phases[-1][2]:
-            return self._phases[-1][3]
-        return 0.0
+        return float(self.power_at_many(np.array(t, dtype=np.float64)))
 
     def exact_energy_j(self) -> float:
         """Closed-form energy (sum of W x dt per phase)."""
@@ -148,12 +304,17 @@ class PowerMeter:
         return start_s + np.arange(n) / self.rate_hz
 
     def sample(self, profile: PhasePowerProfile) -> List[PowerSample]:
-        """Readings at t = 0, 1/rate, 2/rate, ... across the profile."""
+        """Readings at t = 0, 1/rate, 2/rate, ... across the profile.
+
+        One vectorized edge lookup for the whole grid rather than a
+        per-tick phase scan (see :meth:`PhasePowerProfile.power_at_many`).
+        """
         phases = profile.phases
         if not phases:
             return []
         times = self.sample_times(phases[0][1], phases[-1][2])
-        return [PowerSample(float(t), profile.power_at(float(t))) for t in times]
+        watts = profile.power_at_many(times)
+        return [PowerSample(float(t), float(w)) for t, w in zip(times, watts)]
 
 
 def trapezoid_energy(samples: Sequence[PowerSample]) -> float:

@@ -88,10 +88,21 @@ class ExperimentConfig:
     method: Optional[str] = None
     #: a :class:`repro.comms.CollectiveOptions` for runs that reduce
     collective: Optional[Any] = None
+    #: a DVFS power-state name (e.g. "p2") on the machine's frequency
+    #: ladder, for experiments that pin or sweep the device clock
+    frequency: Optional[str] = None
     #: experiment-specific keywords, forwarded verbatim
     extra: Mapping[str, Any] = field(default_factory=dict)
 
-    _KNOWN = ("fast", "seed", "machine", "nworkers", "method", "collective")
+    _KNOWN = (
+        "fast",
+        "seed",
+        "machine",
+        "nworkers",
+        "method",
+        "collective",
+        "frequency",
+    )
 
     @classmethod
     def from_kwargs(cls, fast: bool = True, **kwargs) -> "ExperimentConfig":
@@ -152,6 +163,7 @@ _REGISTRY: Dict[str, str] = {
     "noise_scale": "repro.experiments.noise_scale_exp",
     "checkpoint_interval": "repro.experiments.checkpoint_interval",
     "ingest": "repro.experiments.ingest_sweep",
+    "energy_search": "repro.experiments.energy_search",
 }
 
 

@@ -1,0 +1,282 @@
+"""Energy-optimal configuration search (energy-aware runtime, §5-6).
+
+The paper reports what one configuration change (the pandas fix) does
+to time and energy; Huber et al. show parallelism and communication
+choices move joules *independently* of seconds. This experiment closes
+the loop: given a benchmark and a machine, sweep the runtime's whole
+operating space — worker count × batch-scaling rule × collective
+algorithm × DVFS frequency — through the calibrated simulator and
+report
+
+- the **Pareto frontier** of total energy vs time-to-solution (strong
+  scaling holds the total epoch budget fixed, so every point buys the
+  same nominal training work — the time axis is time-to-accuracy),
+- the **EDP-optimal** configuration against the *max-frequency
+  reference* (the paper's own operating point: nominal clocks, no
+  batch scaling, automatic collective selection), and
+- the paper's Tables 4-6 **shape** (original vs optimized loading,
+  with the power-up/energy-down signature) on the same rank grid.
+
+On Theta the search correctly *refuses* to down-clock — KNL's 140 W
+idle floor makes race-to-idle optimal — and wins through scale and
+batch shape instead; on Summit the V100's wide dynamic range makes the
+lower rungs genuinely EDP-optimal. Both answers fall out of the same
+arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.energy import compare_runs, pareto_front
+from repro.candle.base import BenchmarkSpec
+from repro.candle.registry import get_benchmark
+from repro.cluster.machine import get_machine
+from repro.comms import CollectiveOptions
+from repro.experiments.base import ExperimentConfig, ExperimentResult
+from repro.experiments.common import plan_for
+from repro.sim.report import improvement_percent
+from repro.sim.runner import ScaledRunSimulator
+
+__all__ = [
+    "EnergyPoint",
+    "sweep_energy_configs",
+    "reference_point",
+    "run",
+]
+
+#: rank grids: Theta goes to the paper's full 3,072-node scale, where
+#: Lustre contention makes the loading (and therefore energy) story
+#: starkest; Summit stays on the strong-scaling GPU grid
+THETA_COUNTS = (96, 192, 384, 768, 1536, 3072)
+SUMMIT_COUNTS = (24, 48, 96, 192, 384)
+
+#: batch rules swept ("linear" excluded by default: the paper shows it
+#: wrecks both accuracy and, via load imbalance, time at scale)
+DEFAULT_STRATEGIES = ("none", "sqrt", "cubic")
+
+DEFAULT_ALGORITHMS = ("auto", "ring", "hierarchical")
+
+#: max-frequency reference worker count (the paper's Fig 13 top end)
+REFERENCE_WORKERS = 384
+
+
+@dataclass(frozen=True)
+class EnergyPoint:
+    """One swept configuration and its simulated cost."""
+
+    machine: str
+    benchmark: str
+    nworkers: int
+    batch_strategy: str
+    algorithm: str
+    power_state: str
+    frequency_ghz: float
+    batch_size: int
+    epochs_per_worker: int
+    total_s: float
+    total_energy_j: float
+    avg_power_w: float
+
+    @property
+    def edp_j_s(self) -> float:
+        return self.total_energy_j * self.total_s
+
+    def as_row(self) -> dict:
+        return {
+            "workers": self.nworkers,
+            "batch_rule": self.batch_strategy,
+            "algorithm": self.algorithm,
+            "state": self.power_state,
+            "freq_ghz": round(self.frequency_ghz, 2),
+            "batch": self.batch_size,
+            "total_s": round(self.total_s, 1),
+            "energy_mj": round(self.total_energy_j / 1e6, 3),
+            "avg_power_w": round(self.avg_power_w, 1),
+            "edp_gj_s": round(self.edp_j_s / 1e9, 3),
+        }
+
+    def config_label(self) -> str:
+        return (
+            f"{self.nworkers}w/{self.batch_strategy}/"
+            f"{self.algorithm}/{self.power_state}"
+        )
+
+
+def _point(
+    sim: ScaledRunSimulator,
+    spec: BenchmarkSpec,
+    nworkers: int,
+    batch_strategy: str,
+    algorithm: str,
+    method: str,
+    seed: int,
+) -> EnergyPoint:
+    plan = plan_for(spec, nworkers, mode="strong", batch_strategy=batch_strategy)
+    report = sim.run(spec, plan, method=method, seed=seed, keep_profiles=False)
+    state = sim.power_state
+    return EnergyPoint(
+        machine=sim.machine.name,
+        benchmark=spec.name,
+        nworkers=nworkers,
+        batch_strategy=batch_strategy,
+        algorithm=algorithm,
+        power_state=state.name if state else "nominal",
+        frequency_ghz=state.frequency_ghz if state else 0.0,
+        batch_size=plan.batch_size,
+        epochs_per_worker=plan.epochs_per_worker,
+        total_s=report.total_s,
+        total_energy_j=report.total_energy_j,
+        avg_power_w=report.avg_power_w,
+    )
+
+
+def sweep_energy_configs(
+    spec: BenchmarkSpec,
+    machine: str,
+    counts: Sequence[int],
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    states: Optional[Sequence[str]] = None,
+    method: str = "cached",
+    seed: int = 0,
+) -> List[EnergyPoint]:
+    """Simulate every configuration in the cross product.
+
+    ``states`` names rungs of the machine's frequency ladder (None =
+    the whole ladder). One simulator per (algorithm, state) pair prices
+    every plan, so the sweep cost stays linear in the grid size.
+    """
+    machine_spec = get_machine(machine)
+    if states is None:
+        states = machine_spec.frequency_ladder().names
+    points = []
+    for algorithm in algorithms:
+        options = CollectiveOptions(algorithm=algorithm)
+        for state in states:
+            sim = ScaledRunSimulator(
+                machine_spec, collective=options, power_state=state
+            )
+            for nworkers in counts:
+                for strategy in strategies:
+                    points.append(
+                        _point(sim, spec, nworkers, strategy, algorithm, method, seed)
+                    )
+    return points
+
+
+def reference_point(
+    spec: BenchmarkSpec,
+    machine: str,
+    nworkers: int = REFERENCE_WORKERS,
+    method: str = "cached",
+    seed: int = 0,
+) -> EnergyPoint:
+    """The max-frequency reference: the paper's own operating point.
+
+    Nominal (top-of-ladder) clocks, no batch scaling, automatic
+    collective selection. "Beats max-frequency EDP by N%" means beating
+    *this* config — the one every run in the paper implicitly uses.
+    """
+    machine_spec = get_machine(machine)
+    top = machine_spec.frequency_ladder().max_state
+    sim = ScaledRunSimulator(machine_spec, power_state=top)
+    return _point(sim, spec, nworkers, "none", "auto", method, seed)
+
+
+def _frontier(points: Sequence[EnergyPoint]) -> List[EnergyPoint]:
+    return pareto_front(
+        points, x=lambda p: p.total_s, y=lambda p: p.total_energy_j
+    )
+
+
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    """The registered experiment: sweep, frontier, EDP, paper shape."""
+    config = config if config is not None else ExperimentConfig()
+    machine = config.machine or "theta"
+    benchmark = config.extra.get("benchmark", "nt3")
+    spec = get_benchmark(benchmark).spec
+    method = config.method or "cached"
+    seed = config.seed if config.seed is not None else 0
+    counts = tuple(
+        config.extra.get(
+            "counts", THETA_COUNTS if machine == "theta" else SUMMIT_COUNTS
+        )
+    )
+    strategies = tuple(config.extra.get("strategies", DEFAULT_STRATEGIES))
+    algorithms = tuple(config.extra.get("algorithms", DEFAULT_ALGORITHMS))
+    ladder = get_machine(machine).frequency_ladder()
+    states = (
+        (config.frequency,) if config.frequency is not None else ladder.names
+    )
+    if config.fast:
+        counts = counts[::2] if len(counts) > 3 else counts
+        strategies = strategies[:2]
+        algorithms = algorithms[:2]
+        if config.frequency is None:
+            states = (ladder.min_state.name, ladder.max_state.name)
+
+    points = sweep_energy_configs(
+        spec,
+        machine,
+        counts,
+        strategies=strategies,
+        algorithms=algorithms,
+        states=states,
+        method=method,
+        seed=seed,
+    )
+    ref_workers = config.nworkers or (
+        REFERENCE_WORKERS if REFERENCE_WORKERS in counts else counts[-1]
+    )
+    ref = reference_point(spec, machine, ref_workers, method=method, seed=seed)
+    frontier = _frontier(points)
+    best = min(points, key=lambda p: p.edp_j_s)
+    edp_improvement = improvement_percent(ref.edp_j_s, best.edp_j_s)
+
+    # the paper's Tables 4-6 shape on the same grid: original loading vs
+    # this sweep's method, with the power-up/energy-down signature
+    sim = ScaledRunSimulator(machine)
+    shape_rows = []
+    for n in counts:
+        plan = plan_for(spec, n, mode="strong")
+        orig = sim.run(spec, plan, method="original", seed=seed, keep_profiles=False)
+        opt = sim.run(spec, plan, method=method, seed=seed, keep_profiles=False)
+        comp = compare_runs(orig, opt)
+        row = comp.as_row()
+        row["opt_power_w"] = round(comp.optimized_power_w, 1)
+        shape_rows.append(row)
+
+    edp_rows = [
+        {"config": "reference (max-freq)", **ref.as_row()},
+        {"config": "best EDP", **best.as_row()},
+    ]
+    return ExperimentResult(
+        experiment_id="energy_search",
+        title=f"Energy-optimal config search: {spec.name} on {get_machine(machine).name}",
+        panels={
+            "sweep": [p.as_row() for p in points],
+            "pareto frontier (energy vs time-to-accuracy)": [
+                p.as_row() for p in frontier
+            ],
+            "EDP vs max-frequency reference": edp_rows,
+            "paper shape (orig vs optimized loading)": shape_rows,
+        },
+        paper_claims={"max energy saving % (paper ~78 at scale)": 78.0},
+        measured={
+            "max energy saving % (paper ~78 at scale)": max(
+                r["energy_saving_pct"] for r in shape_rows
+            ),
+            "EDP improvement vs max-frequency %": edp_improvement,
+            "frontier size": float(len(frontier)),
+        },
+        notes=(
+            f"best {best.config_label()} vs reference {ref.config_label()}: "
+            f"EDP {best.edp_j_s / 1e9:.2f} vs {ref.edp_j_s / 1e9:.2f} GJ·s "
+            f"({edp_improvement:.1f}% better). Strong scaling fixes the "
+            "total epoch budget, so time is time-to-accuracy; frontier "
+            "points differ only in where they sit on the energy/time "
+            "trade."
+        ),
+    )

@@ -47,6 +47,14 @@ from repro.sim.iomodel import (
     prefetch_hidden_fraction,
     prefetch_timeline_seconds,
 )
+from repro.sim.powercap import (
+    CappedSimReport,
+    PowerCapPlan,
+    PowerCapScheduler,
+    peak_rank_watts,
+    plan_power_cap,
+    simulate_capped_run,
+)
 from repro.sim.report import SimRunReport, improvement_percent
 from repro.sim.runner import ScaledRunSimulator, simulate_run
 
@@ -67,6 +75,12 @@ __all__ = [
     "improvement_percent",
     "ScaledRunSimulator",
     "simulate_run",
+    "PowerCapPlan",
+    "CappedSimReport",
+    "PowerCapScheduler",
+    "peak_rank_watts",
+    "plan_power_cap",
+    "simulate_capped_run",
     "MtbfFailureProcess",
     "FailureModel",
     "young_daly_interval",

@@ -293,10 +293,21 @@ class ResilientSimReport:
 
     @property
     def time_overhead_pct(self) -> float:
+        """Guarded like :func:`~repro.sim.report.improvement_percent`:
+        a zero-duration baseline makes the percentage meaningless."""
+        if self.base_total_s <= 0:
+            raise ValueError(
+                f"base total time must be positive, got {self.base_total_s}"
+            )
         return self.time_overhead_s / self.base_total_s * 100.0
 
     @property
     def energy_overhead_pct(self) -> float:
+        if self.base_energy_per_worker_j <= 0:
+            raise ValueError(
+                "base energy per worker must be positive, "
+                f"got {self.base_energy_per_worker_j}"
+            )
         return (
             (self.energy_per_worker_j - self.base_energy_per_worker_j)
             / self.base_energy_per_worker_j

@@ -1,0 +1,212 @@
+"""Node power capping via DVFS demotion.
+
+Theta's CapMC (the tool behind the paper's node power measurements) can
+*enforce* a node power budget, not just read one; modern GPU clusters
+do the same through ``nvidia-smi -pl``. This module models the simplest
+sound policy: given a node cap in watts, demote every rank's device
+down the :class:`~repro.cluster.power.FrequencyLadder` until the node's
+*worst-case* draw fits under the budget, then price the resulting
+slowdown through the ordinary :class:`~repro.sim.runner.ScaledRunSimulator`.
+
+Capping against the worst case (all devices at full compute intensity
+simultaneously — exactly what a bulk-synchronous training step does)
+means a capped run respects its budget *by construction*: no phase the
+simulator can emit draws more than the chosen state's peak, so no
+sampled profile can cross the cap. The report still verifies this
+against the tracked ranks' profiles, so the invariant is checked, not
+assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.candle.base import BenchmarkSpec
+from repro.candle.registry import get_benchmark
+from repro.cluster.machine import MachineSpec, get_machine
+from repro.cluster.power import FrequencyLadder, PowerState
+from repro.comms import CollectiveOptions
+from repro.core.scaling import ScalingPlan
+from repro.sim.report import SimRunReport, improvement_percent
+from repro.sim.runner import ScaledRunSimulator
+
+__all__ = [
+    "PowerCapPlan",
+    "CappedSimReport",
+    "PowerCapScheduler",
+    "plan_power_cap",
+    "simulate_capped_run",
+]
+
+
+def peak_rank_watts(power_model) -> float:
+    """Worst-case draw of one rank's device under a power model.
+
+    The maximum over every wattage the simulator can charge: full-
+    intensity compute, I/O, communication, and idle.
+    """
+    return max(
+        power_model.compute_w(1.0),
+        power_model.io_w,
+        power_model.communicate_w(),
+        power_model.idle_w,
+    )
+
+
+@dataclass(frozen=True)
+class PowerCapPlan:
+    """The ladder state a node cap resolves to."""
+
+    cap_node_w: float
+    state: PowerState
+    #: worst-case node draw at the chosen state (workers x device peak)
+    peak_node_w: float
+    #: rungs walked down from the top to honour the cap
+    demotions: int
+
+    @property
+    def headroom_w(self) -> float:
+        return self.cap_node_w - self.peak_node_w
+
+
+@dataclass
+class CappedSimReport:
+    """A capped run priced against its uncapped twin."""
+
+    plan: PowerCapPlan
+    capped: SimRunReport
+    uncapped: SimRunReport
+    #: max sampled node draw across the capped run's tracked profiles
+    observed_peak_node_w: float
+
+    @property
+    def within_cap(self) -> bool:
+        """The by-construction invariant, re-checked on the output."""
+        return self.observed_peak_node_w <= self.plan.cap_node_w + 1e-9
+
+    @property
+    def slowdown(self) -> float:
+        """Capped runtime over uncapped (>= 1 when the cap bites)."""
+        return self.capped.total_s / self.uncapped.total_s
+
+    @property
+    def energy_saving_pct(self) -> float:
+        """Energy saved (or, negative, spent) by honouring the cap."""
+        return improvement_percent(
+            self.uncapped.total_energy_j, self.capped.total_energy_j
+        )
+
+    def as_row(self) -> dict:
+        return {
+            "cap_node_w": round(self.plan.cap_node_w, 0),
+            "state": self.plan.state.name,
+            "peak_node_w": round(self.plan.peak_node_w, 1),
+            "observed_peak_node_w": round(self.observed_peak_node_w, 1),
+            "within_cap": self.within_cap,
+            "slowdown": round(self.slowdown, 3),
+            "energy_saving_pct": round(self.energy_saving_pct, 2),
+        }
+
+
+def plan_power_cap(
+    machine: Union[MachineSpec, str],
+    cap_node_w: float,
+    ladder: Optional[FrequencyLadder] = None,
+) -> PowerCapPlan:
+    """Highest-frequency state whose worst-case node draw fits the cap.
+
+    Walks the ladder top-down (each miss is one demotion), so capped
+    runs surrender as little performance as the budget allows. Raises
+    when even the ladder's floor cannot fit — an unsatisfiable cap is a
+    configuration error, not a run to quietly mis-price.
+    """
+    machine = get_machine(machine) if isinstance(machine, str) else machine
+    if cap_node_w <= 0:
+        raise ValueError(f"cap_node_w must be positive, got {cap_node_w}")
+    ladder = ladder if ladder is not None else machine.frequency_ladder()
+    base = machine.worker_device_power()
+    demotions = 0
+    for state in reversed(ladder.states):
+        peak = machine.workers_per_node * peak_rank_watts(state.apply(base))
+        if peak <= cap_node_w:
+            return PowerCapPlan(
+                cap_node_w=float(cap_node_w),
+                state=state,
+                peak_node_w=peak,
+                demotions=demotions,
+            )
+        demotions += 1
+    floor = machine.workers_per_node * peak_rank_watts(
+        ladder.min_state.apply(base)
+    )
+    raise ValueError(
+        f"cap {cap_node_w} W is unsatisfiable on {machine.name}: the "
+        f"ladder floor ({ladder.min_state.name}) still peaks at "
+        f"{floor:.0f} W/node"
+    )
+
+
+class PowerCapScheduler:
+    """Runs benchmarks under a node power budget.
+
+    ``run`` simulates the same (benchmark, plan) twice — once pinned to
+    the cap-satisfying state, once uncapped at nominal — and reports
+    the price of the budget: slowdown, energy delta, and the observed
+    peak node draw of the capped run's power profiles.
+    """
+
+    def __init__(
+        self,
+        machine: Union[MachineSpec, str],
+        collective: Optional[CollectiveOptions] = None,
+    ):
+        self.machine = get_machine(machine) if isinstance(machine, str) else machine
+        self.collective = collective
+
+    def plan(self, cap_node_w: float) -> PowerCapPlan:
+        return plan_power_cap(self.machine, cap_node_w)
+
+    def run(
+        self,
+        benchmark: Union[BenchmarkSpec, str],
+        plan: ScalingPlan,
+        cap_node_w: float,
+        method: str = "original",
+        seed: int = 0,
+    ) -> CappedSimReport:
+        spec = (
+            get_benchmark(benchmark).spec if isinstance(benchmark, str) else benchmark
+        )
+        cap_plan = self.plan(cap_node_w)
+        capped_sim = ScaledRunSimulator(
+            self.machine, collective=self.collective, power_state=cap_plan.state
+        )
+        capped = capped_sim.run(spec, plan, method=method, seed=seed)
+        uncapped = ScaledRunSimulator(self.machine, collective=self.collective).run(
+            spec, plan, method=method, seed=seed, keep_profiles=False
+        )
+        observed_rank_w = max(
+            (float(w) for prof in capped.profiles.values() for _, _, _, w in prof.phases),
+            default=0.0,
+        )
+        return CappedSimReport(
+            plan=cap_plan,
+            capped=capped,
+            uncapped=uncapped,
+            observed_peak_node_w=self.machine.workers_per_node * observed_rank_w,
+        )
+
+
+def simulate_capped_run(
+    benchmark: Union[BenchmarkSpec, str],
+    machine: Union[MachineSpec, str],
+    plan: ScalingPlan,
+    cap_node_w: float,
+    method: str = "original",
+    seed: int = 0,
+) -> CappedSimReport:
+    """One-shot convenience wrapper around :class:`PowerCapScheduler`."""
+    return PowerCapScheduler(machine).run(
+        benchmark, plan, cap_node_w, method=method, seed=seed
+    )

@@ -54,6 +54,9 @@ class SimRunReport:
     #: path)
     overlap_fraction: float = 0.0
 
+    #: DVFS state the run was pinned to ("" = nominal / no ladder)
+    power_state: str = ""
+
     timeline: Optional[Timeline] = None
     profiles: dict = field(default_factory=dict)
 
@@ -104,6 +107,13 @@ class SimRunReport:
     @property
     def total_energy_j(self) -> float:
         return self.energy_per_worker_j * self.plan.nworkers
+
+    @property
+    def edp_j_s(self) -> float:
+        """Energy-delay product (all-worker joules x total seconds) —
+        the energy-aware runtime's single-number objective, penalizing
+        configs that save joules only by running much longer."""
+        return self.total_energy_j * self.total_s
 
     def as_row(self) -> dict:
         """Flat dict for table printing."""

@@ -5,6 +5,7 @@ import time
 import pytest
 
 from repro.analysis import (
+    EnergyComparison,
     PhaseProfiler,
     broadcast_overhead_seconds,
     communication_summary,
@@ -224,3 +225,39 @@ class TestPhaseProfilerReentrancy:
         for t in threads:
             t.join()
         assert p.counts["train"] == 2
+
+
+class TestEnergyHelpers:
+    def test_power_increase_pct_zero_original_rejected(self):
+        # regression: divided by zero instead of reporting the data error
+        comp = EnergyComparison(
+            nworkers=4,
+            original_total_s=10.0, optimized_total_s=8.0,
+            original_energy_j=100.0, optimized_energy_j=80.0,
+            original_power_w=0.0, optimized_power_w=10.0,
+        )
+        with pytest.raises(ValueError, match="average power"):
+            comp.power_increase_pct
+
+    def test_energy_delay_product(self):
+        from repro.analysis import energy_delay_product
+
+        assert energy_delay_product(100.0, 5.0) == 500.0
+        with pytest.raises(ValueError):
+            energy_delay_product(-1.0, 5.0)
+        with pytest.raises(ValueError):
+            energy_delay_product(1.0, -5.0)
+
+    def test_pareto_front(self):
+        from repro.analysis import pareto_front
+
+        pts = [(1.0, 5.0), (2.0, 3.0), (3.0, 4.0), (4.0, 1.0), (2.0, 3.0)]
+        front = pareto_front(pts, x=lambda p: p[0], y=lambda p: p[1])
+        # (3,4) is dominated by (2,3); tied points both survive
+        assert front == [(1.0, 5.0), (2.0, 3.0), (2.0, 3.0), (4.0, 1.0)]
+
+    def test_pareto_front_single_and_empty(self):
+        from repro.analysis import pareto_front
+
+        assert pareto_front([], x=lambda p: p, y=lambda p: p) == []
+        assert pareto_front([(1, 1)], x=lambda p: p[0], y=lambda p: p[1]) == [(1, 1)]

@@ -1,0 +1,104 @@
+"""Property tests for energy accounting on piecewise-constant profiles.
+
+Three invariants the meter arithmetic must hold for *any* profile, not
+just the shapes the simulator happens to emit today:
+
+- **partition additivity** — splitting [0, T] into arbitrary windows
+  and summing ``energy_between`` reproduces ``exact_energy_j`` exactly
+  (gaps included: they contribute zero from whichever window covers
+  them).
+- **trapezoid convergence** — sampled-and-integrated energy approaches
+  the exact value as the meter rate grows; the error is provably
+  bounded by the discontinuity count x peak watts x sample spacing.
+- **vectorized lookup identity** — ``power_at_many`` is bit-identical
+  to the original linear scan at arbitrary query times.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import PhasePowerProfile, PowerMeter, trapezoid_energy
+
+#: phases as (gap_before_s, duration_s, watts): durations bounded away
+#: from zero so exact energy is never degenerate, watts bounded so the
+#: trapezoid error bound stays meaningful
+phase_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=5.0),
+        st.floats(min_value=0.25, max_value=10.0),
+        st.floats(min_value=1.0, max_value=500.0),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def build_profile(phases):
+    p = PhasePowerProfile()
+    t = 0.0
+    for i, (gap, duration, watts) in enumerate(phases):
+        t0 = t + gap
+        t1 = t0 + duration
+        p.add_phase(f"phase{i}", t0, t1, watts)
+        t = t1
+    return p
+
+
+@given(phases=phase_lists, cuts=st.lists(st.floats(min_value=0.0, max_value=1.0), max_size=8))
+@settings(max_examples=200, deadline=None)
+def test_windows_partition_to_exact_energy(phases, cuts):
+    """Any partition of [0, T] sums energy_between to exact_energy_j."""
+    p = build_profile(phases)
+    total = p._phases[-1][2]  # last end: [0, total] covers every phase and gap
+    edges = sorted({0.0, total, *(c * total for c in cuts)})
+    windowed = sum(
+        p.energy_between(a, b) for a, b in zip(edges, edges[1:])
+    )
+    exact = p.exact_energy_j()
+    assert abs(windowed - exact) <= 1e-6 * max(exact, 1.0)
+
+
+@given(phases=phase_lists)
+@settings(max_examples=100, deadline=None)
+def test_trapezoid_converges_to_exact(phases):
+    """Sampled energy error obeys the discontinuity bound at any rate,
+    so quadrupling the rate provably quarters the worst case."""
+    p = build_profile(phases)
+    exact = p.exact_energy_j()
+    max_w = max(w for _, _, w in phases)
+    # each phase contributes <= 2 discontinuities (its start and end
+    # edges); only sample intervals containing one carry any error, and
+    # each such interval misprices at most max_w over one spacing
+    n_disc = 2 * len(phases)
+    for rate_hz in (4.0, 16.0, 64.0):
+        approx = trapezoid_energy(PowerMeter(rate_hz).sample(p))
+        bound = n_disc * max_w / rate_hz
+        assert abs(approx - exact) <= bound + 1e-9, (rate_hz, approx, exact)
+
+
+@given(
+    phases=phase_lists,
+    offsets=st.lists(st.floats(min_value=-0.1, max_value=1.1), min_size=1, max_size=32),
+)
+@settings(max_examples=200, deadline=None)
+def test_power_at_many_matches_linear_scan(phases, offsets):
+    """The searchsorted path is bit-identical to the original scan."""
+    p = build_profile(phases)
+    total = p.duration_s()
+    # arbitrary interior points plus every edge exactly
+    times = [o * total for o in offsets]
+    for _, t0, t1, _ in p._phases:
+        times.extend((t0, t1))
+
+    def scan(t):
+        for _, t0, t1, w in p._phases:
+            if t0 <= t < t1:
+                return w
+        if p._phases and t == p._phases[-1][2]:
+            return p._phases[-1][3]
+        return 0.0
+
+    got = p.power_at_many(times)
+    expected = np.array([scan(t) for t in times])
+    assert np.array_equal(got, expected)

@@ -233,3 +233,29 @@ def test_elastic_mode_is_seed_deterministic(plan):
         NT3_SPEC, plan, seed=3, ft_options=DEFAULT_FT_OPTIONS
     )
     assert a.total_s == b.total_s and a.n_rebuilds == b.n_rebuilds
+
+
+# -- overhead-percentage guards (regression: raised ZeroDivisionError) -------
+def _degenerate_report(plan, base_total_s, base_energy_j):
+    from repro.sim.faultmodel import ResilientSimReport
+
+    return ResilientSimReport(
+        machine="Summit", benchmark="nt3", plan=plan,
+        interval_s=60.0, checkpoint_s=1.0, job_mtbf_s=3600.0,
+        base_total_s=base_total_s, base_energy_per_worker_j=base_energy_j,
+        total_s=100.0, energy_per_worker_j=5000.0,
+        n_failures=0, n_checkpoints=0, checkpoint_time_s=0.0,
+        lost_work_s=0.0, restart_time_s=0.0, phase_seconds={},
+    )
+
+
+def test_time_overhead_pct_zero_baseline_rejected(plan):
+    rep = _degenerate_report(plan, base_total_s=0.0, base_energy_j=5000.0)
+    with pytest.raises(ValueError, match="base total time"):
+        rep.time_overhead_pct
+
+
+def test_energy_overhead_pct_zero_baseline_rejected(plan):
+    rep = _degenerate_report(plan, base_total_s=100.0, base_energy_j=0.0)
+    with pytest.raises(ValueError, match="base energy"):
+        rep.energy_overhead_pct

@@ -1,0 +1,89 @@
+"""Node power capping: state selection, the cap invariant, pricing."""
+
+import pytest
+
+from repro.candle.nt3 import NT3_SPEC
+from repro.cluster import V100_DVFS
+from repro.cluster.machine import SUMMIT
+from repro.core.scaling import strong_scaling_plan
+from repro.sim import (
+    PowerCapScheduler,
+    peak_rank_watts,
+    plan_power_cap,
+    simulate_capped_run,
+)
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return strong_scaling_plan(NT3_SPEC, nworkers=96, total_epochs=1920)
+
+
+class TestPlanPowerCap:
+    def test_loose_cap_keeps_nominal_state(self):
+        cap = plan_power_cap("summit", 10_000.0)
+        assert cap.state.name == "p0"
+        assert cap.demotions == 0
+        assert cap.headroom_w > 0
+
+    def test_tight_cap_demotes(self):
+        loose = plan_power_cap("summit", 1800.0)
+        tight = plan_power_cap("summit", 1000.0)
+        assert loose.state.name == "p0"
+        assert tight.state.frequency_ghz < loose.state.frequency_ghz
+        assert tight.demotions > 0
+        assert tight.peak_node_w <= 1000.0
+
+    def test_peak_is_worst_case_node_draw(self):
+        cap = plan_power_cap("summit", 1800.0)
+        device = cap.state.apply(SUMMIT.worker_device_power())
+        assert cap.peak_node_w == pytest.approx(
+            SUMMIT.workers_per_node * peak_rank_watts(device)
+        )
+
+    def test_unsatisfiable_cap_raises(self):
+        with pytest.raises(ValueError, match="unsatisfiable"):
+            plan_power_cap("summit", 100.0)
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            plan_power_cap("summit", 0.0)
+
+    def test_theta_ladder_used_for_cpu_machines(self):
+        from repro.cluster import KNL_DVFS
+
+        cap = plan_power_cap("theta", 250.0)
+        assert cap.state in tuple(KNL_DVFS)
+        assert cap.peak_node_w <= 250.0
+
+
+class TestPowerCapScheduler:
+    def test_capped_run_respects_budget(self, plan):
+        rep = simulate_capped_run(NT3_SPEC, "summit", plan, 1000.0, method="cached")
+        assert rep.within_cap
+        assert rep.observed_peak_node_w <= 1000.0
+        assert rep.plan.state.name != "p0"
+        # down-clocking costs time and saves energy on Summit
+        assert rep.slowdown > 1.0
+        assert rep.energy_saving_pct > 0
+        row = rep.as_row()
+        assert row["within_cap"] is True
+        assert isinstance(row["slowdown"], float)
+
+    def test_loose_cap_is_free(self, plan):
+        rep = PowerCapScheduler("summit").run(NT3_SPEC, plan, 1800.0, method="cached")
+        assert rep.plan.state is V100_DVFS.max_state
+        assert rep.slowdown == pytest.approx(1.0)
+        assert rep.energy_saving_pct == pytest.approx(0.0, abs=1e-9)
+
+    def test_tighter_caps_monotone(self, plan):
+        scheduler = PowerCapScheduler("summit")
+        reports = [
+            scheduler.run(NT3_SPEC, plan, cap, method="cached")
+            for cap in (1800.0, 1400.0, 1000.0, 700.0)
+        ]
+        assert all(r.within_cap for r in reports)
+        slowdowns = [r.slowdown for r in reports]
+        assert slowdowns == sorted(slowdowns)
+        energies = [r.capped.total_energy_j for r in reports]
+        assert energies == sorted(energies, reverse=True)
