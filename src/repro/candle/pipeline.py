@@ -30,22 +30,31 @@ __all__ = ["run_benchmark", "BenchmarkRunReport"]
 
 @dataclass
 class BenchmarkRunReport:
-    """One serial benchmark run: phase seconds + metrics + history."""
+    """One benchmark run: phase seconds + metrics + history.
+
+    The three Figure 2 phases are always present; ``serve_s`` /
+    ``serve_report`` are filled only when the run was asked to serve
+    the trained model afterwards (``serve=`` on :func:`run_benchmark`).
+    """
 
     benchmark: str
     load_s: float
     train_s: float
     eval_s: float
+    serve_s: float = 0.0
     history: dict[str, list[float]] = field(default_factory=dict)
     eval_metrics: dict[str, float] = field(default_factory=dict)
+    serve_report: Optional[object] = None
     tracer: Optional[Tracer] = None
 
     @property
     def total_s(self) -> float:
-        return self.load_s + self.train_s + self.eval_s
+        return self.load_s + self.train_s + self.eval_s + self.serve_s
 
     def dominant_phase(self) -> str:
         phases = {"load": self.load_s, "train": self.train_s, "eval": self.eval_s}
+        if self.serve_s > 0:
+            phases["serve"] = self.serve_s
         return max(phases, key=phases.get)
 
 
@@ -69,6 +78,7 @@ def run_benchmark(
     validation: bool = True,
     tracer: Optional[Tracer] = None,
     train=None,
+    serve=None,
 ) -> BenchmarkRunReport:
     """Execute the benchmark's three phases serially.
 
@@ -76,6 +86,14 @@ def run_benchmark(
     to ``build_model`` and ``fit`` — the single switchboard for arena
     storage, precision, collective transport, and (under a distributed
     caller) gradient-exchange overlap.
+
+    ``serve`` is an optional :class:`repro.serve.ServeOptions`: when
+    given, a fourth phase follows evaluation — the trained weights are
+    installed on ``serve.replicas`` inference workers and a short
+    closed-loop workload drawn from the test rows is served through
+    the dynamic batcher (:func:`repro.serve.serve_workload`). The
+    resulting :class:`~repro.serve.ServeReport` lands on
+    ``report.serve_report``.
 
     With ``data_paths=(train_csv, test_csv)`` the loading phase really
     parses files via ``load_method`` — an ingest registry name or a
@@ -165,12 +183,40 @@ def run_benchmark(
         with tracer.span("eval") as sp_eval:
             eval_metrics = model.evaluate(data.x_test, data.y_test)
 
+        # ---- phase 4 (optional): serve the trained model -----------------
+        serve_report = None
+        serve_s = 0.0
+        if serve is not None:
+            from repro.serve import ClosedWorkload, serve_workload
+
+            with tracer.span("serve", replicas=serve.replicas) as sp_serve:
+                weights = {
+                    name: p.copy() for name, p in model.named_parameters().items()
+                }
+                workload = ClosedWorkload(
+                    clients=2, requests_per_client=8, rows_per_request=1
+                )
+                serve_report = serve_workload(
+                    lambda: benchmark.build_model(seed=seed, train=train),
+                    workload,
+                    data.x_test,
+                    serve,
+                    initial_weights=weights,
+                )
+                sp_serve.set_attrs(
+                    requests=serve_report.slo.requests,
+                    p99_ms=serve_report.slo.p99_ms,
+                )
+            serve_s = sp_serve.duration_s
+
     return BenchmarkRunReport(
         benchmark=spec.name,
         load_s=sp_load.duration_s,
         train_s=sp_train.duration_s,
         eval_s=sp_eval.duration_s,
+        serve_s=serve_s,
         history=dict(history.history),
         eval_metrics=eval_metrics,
+        serve_report=serve_report,
         tracer=tracer,
     )

@@ -17,7 +17,13 @@ projection and a functional run share one failure-handling config.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
+
+from repro.options import (
+    FrozenOptions,
+    require_non_negative,
+    require_positive,
+)
 
 __all__ = ["FaultToleranceOptions", "DEFAULT_FT_OPTIONS", "DEMOTION_LADDER"]
 
@@ -28,7 +34,7 @@ DEMOTION_LADDER = ("hierarchical", "ring", "flat")
 
 
 @dataclass(frozen=True, kw_only=True)
-class FaultToleranceOptions:
+class FaultToleranceOptions(FrozenOptions):
     """Keyword-only, frozen configuration of the FT collective runtime."""
 
     #: master switch; a disabled instance behaves like plain PR 5 engine
@@ -97,10 +103,7 @@ class FaultToleranceOptions:
     idle_shutdown_s: float = 2.0
 
     def __post_init__(self):
-        if self.heartbeat_interval_s <= 0:
-            raise ValueError(
-                f"heartbeat_interval_s must be positive, got {self.heartbeat_interval_s}"
-            )
+        require_positive("heartbeat_interval_s", self.heartbeat_interval_s)
         if not 0 < self.phi_suspect < self.phi_dead:
             raise ValueError(
                 f"need 0 < phi_suspect < phi_dead, got "
@@ -110,44 +113,21 @@ class FaultToleranceOptions:
             raise ValueError(
                 f"detector_window must be >= 2, got {self.detector_window}"
             )
-        if self.detector_min_std_s <= 0:
-            raise ValueError(
-                f"detector_min_std_s must be positive, got {self.detector_min_std_s}"
+        require_positive("detector_min_std_s", self.detector_min_std_s)
+        if self.detector_acceptable_pause_s is not None:
+            require_non_negative(
+                "detector_acceptable_pause_s", self.detector_acceptable_pause_s
             )
-        if (
-            self.detector_acceptable_pause_s is not None
-            and self.detector_acceptable_pause_s < 0
-        ):
-            raise ValueError(
-                f"detector_acceptable_pause_s must be non-negative, "
-                f"got {self.detector_acceptable_pause_s}"
-            )
-        if self.chunk_deadline_s <= 0:
-            raise ValueError(
-                f"chunk_deadline_s must be positive, got {self.chunk_deadline_s}"
-            )
-        if self.max_retransmits < 0:
-            raise ValueError(
-                f"max_retransmits must be non-negative, got {self.max_retransmits}"
-            )
+        require_positive("chunk_deadline_s", self.chunk_deadline_s)
+        require_non_negative("max_retransmits", self.max_retransmits)
         if self.retry_base_delay_s < 0 or self.retry_max_delay_s < 0:
             raise ValueError("retry delays must be non-negative")
         if self.retry_factor < 1.0:
             raise ValueError(f"retry_factor must be >= 1, got {self.retry_factor}")
-        if self.retry_jitter < 0:
-            raise ValueError(f"retry_jitter must be non-negative, got {self.retry_jitter}")
-        if self.rebuild_timeout_s <= 0:
-            raise ValueError(
-                f"rebuild_timeout_s must be positive, got {self.rebuild_timeout_s}"
-            )
-        if self.suspect_heal_s < 0:
-            raise ValueError(
-                f"suspect_heal_s must be non-negative, got {self.suspect_heal_s}"
-            )
-        if self.idle_shutdown_s <= 0:
-            raise ValueError(
-                f"idle_shutdown_s must be positive, got {self.idle_shutdown_s}"
-            )
+        require_non_negative("retry_jitter", self.retry_jitter)
+        require_positive("rebuild_timeout_s", self.rebuild_timeout_s)
+        require_non_negative("suspect_heal_s", self.suspect_heal_s)
+        require_positive("idle_shutdown_s", self.idle_shutdown_s)
 
     @property
     def resolved_acceptable_pause_s(self) -> float:
@@ -156,10 +136,6 @@ class FaultToleranceOptions:
         if self.detector_acceptable_pause_s is not None:
             return self.detector_acceptable_pause_s
         return 3.0 * self.heartbeat_interval_s
-
-    def evolve(self, **changes) -> "FaultToleranceOptions":
-        """A copy with the given fields replaced (frozen-friendly)."""
-        return replace(self, **changes)
 
 
 #: FT defaults: detection + retry + demotion + rebuild all armed

@@ -29,10 +29,18 @@ everything else       ring                       bandwidth-optimal
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.comms.ft.options import FaultToleranceOptions
+from repro.options import (
+    FrozenOptions,
+    require_choice,
+    require_in_interval,
+    require_instance,
+    require_non_negative,
+    require_positive,
+)
 
 __all__ = [
     "CollectiveOptions",
@@ -54,7 +62,7 @@ def _is_power_of_two(n: int) -> bool:
 
 
 @dataclass(frozen=True, kw_only=True)
-class CollectiveOptions:
+class CollectiveOptions(FrozenOptions):
     """Keyword-only configuration for every collective in a run.
 
     The defaults reproduce the engine's automatic behaviour, which is
@@ -97,37 +105,18 @@ class CollectiveOptions:
     emulate_fabric_scale: float = 1.0
 
     def __post_init__(self):
-        if self.algorithm not in ALGORITHMS:
-            raise ValueError(
-                f"unknown algorithm {self.algorithm!r}; known: {ALGORITHMS}"
-            )
-        if self.compression not in COMPRESSIONS:
-            raise ValueError(
-                f"unknown compression {self.compression!r}; known: {COMPRESSIONS}"
-            )
-        if not 0.0 < self.topk_ratio <= 1.0:
-            raise ValueError(
-                f"topk_ratio must be in (0, 1], got {self.topk_ratio}"
-            )
-        if self.fusion_bytes <= 0:
-            raise ValueError(
-                f"fusion_bytes must be positive, got {self.fusion_bytes}"
-            )
+        require_choice("algorithm", self.algorithm, ALGORITHMS)
+        require_choice("compression", self.compression, COMPRESSIONS)
+        require_in_interval("topk_ratio", self.topk_ratio, 0, 1, open_low=True)
+        require_positive("fusion_bytes", self.fusion_bytes)
         if self.chunk_bytes is not None and self.chunk_bytes <= 0:
             raise ValueError(
                 f"chunk_bytes must be positive or None, got {self.chunk_bytes}"
             )
-        if self.small_message_bytes < 0:
-            raise ValueError(
-                f"small_message_bytes must be non-negative, got {self.small_message_bytes}"
-            )
-        if self.fault_tolerance is not None and not isinstance(
-            self.fault_tolerance, FaultToleranceOptions
-        ):
-            raise ValueError(
-                "fault_tolerance must be a FaultToleranceOptions or None, "
-                f"got {type(self.fault_tolerance).__name__}"
-            )
+        require_non_negative("small_message_bytes", self.small_message_bytes)
+        require_instance(
+            "fault_tolerance", self.fault_tolerance, FaultToleranceOptions
+        )
         if self.emulate_fabric is not None and not isinstance(
             self.emulate_fabric, str
         ):
@@ -135,10 +124,7 @@ class CollectiveOptions:
                 "emulate_fabric must be a machine name or None, "
                 f"got {type(self.emulate_fabric).__name__}"
             )
-        if not self.emulate_fabric_scale > 0:
-            raise ValueError(
-                f"emulate_fabric_scale must be positive, got {self.emulate_fabric_scale}"
-            )
+        require_positive("emulate_fabric_scale", self.emulate_fabric_scale)
 
     # -- derived quantities -------------------------------------------------
     def nchunks(self, nbytes: int) -> int:
@@ -155,10 +141,6 @@ class CollectiveOptions:
             # value + index per surviving entry
             return min(1.0, 2.0 * self.topk_ratio)
         return 1.0
-
-    def evolve(self, **changes) -> "CollectiveOptions":
-        """A copy with the given fields replaced (frozen-friendly)."""
-        return replace(self, **changes)
 
 
 #: the engine's defaults — automatic selection, no compression

@@ -13,6 +13,12 @@ import os
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from repro.options import (
+    FrozenOptions,
+    require_in_interval,
+    require_positive,
+)
+
 __all__ = ["LoaderConfig", "ShardSpec", "PAPER_CHUNK_SIZE", "DEFAULT_BLOCK_BYTES"]
 
 #: the paper's csize (§5): effectively "one big chunk" for the wide files
@@ -49,7 +55,7 @@ class ShardSpec:
 
 
 @dataclass(frozen=True)
-class LoaderConfig:
+class LoaderConfig(FrozenOptions):
     """Everything :meth:`DataSource.load` needs beyond the path.
 
     ``method`` names an entry in the ingest method registry (see
@@ -81,18 +87,13 @@ class LoaderConfig:
     def __post_init__(self):
         if not self.method or not isinstance(self.method, str):
             raise ValueError(f"method must be a non-empty string, got {self.method!r}")
-        if self.chunksize <= 0:
-            raise ValueError(f"chunksize must be positive, got {self.chunksize}")
+        require_positive("chunksize", self.chunksize)
         if self.num_workers < 0:
             raise ValueError(f"num_workers must be >= 0, got {self.num_workers}")
-        if self.block_bytes <= 0:
-            raise ValueError(f"block_bytes must be positive, got {self.block_bytes}")
+        require_positive("block_bytes", self.block_bytes)
         if not isinstance(self.prefetch, bool):
             raise ValueError(f"prefetch must be a bool, got {self.prefetch!r}")
-        if not 1 <= self.prefetch_depth <= 64:
-            raise ValueError(
-                f"prefetch_depth must be in [1, 64], got {self.prefetch_depth}"
-            )
+        require_in_interval("prefetch_depth", self.prefetch_depth, 1, 64)
         if self.shuffle_seed is not None:
             if not isinstance(self.shuffle_seed, int) or isinstance(
                 self.shuffle_seed, bool

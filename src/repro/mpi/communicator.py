@@ -252,6 +252,47 @@ class Communicator:
         self.stats.bytes_received += _payload_bytes(obj)
         return obj
 
+    def recv_any(
+        self,
+        sources: "list[int] | tuple[int, ...]",
+        tag: int = 0,
+        timeout: Optional[float] = None,
+    ) -> tuple[int, Any]:
+        """Receive the next message from *any* of ``sources`` on ``tag``.
+
+        Polls the per-source mailboxes round-robin (MPI_ANY_SOURCE
+        analog) and returns ``(source, payload)`` for the first message
+        found. A serving front-end collecting results from whichever
+        replica finishes first needs this; pinning recv order to a fixed
+        source would serialize the replicas. Raises
+        :class:`DeadlockError` after ``timeout`` (context default when
+        None) with no message from any source.
+        """
+        if not sources:
+            raise ValueError("recv_any needs at least one source")
+        boxes = []
+        for src in sources:
+            self._check_peer(src)
+            boxes.append((src, self._context.mailbox(src, self.rank, tag)))
+        limit = timeout if timeout is not None else self._context.timeout
+        deadline = time.monotonic() + limit
+        while True:
+            self._check_alive()
+            for src, box in boxes:
+                try:
+                    obj = box.get_nowait()
+                except queue.Empty:
+                    continue
+                self.stats.recvs += 1
+                self.stats.bytes_received += _payload_bytes(obj)
+                return src, obj
+            if time.monotonic() > deadline:
+                raise DeadlockError(
+                    f"rank {self.rank} recv_any from {list(sources)} tag "
+                    f"{tag} timed out after {limit}s"
+                )
+            time.sleep(_POLL_INTERVAL)
+
     def sendrecv(self, obj: Any, dest: int, source: int, tag: int = 0) -> Any:
         """Simultaneous send+recv (ring building block)."""
         self.send(obj, dest, tag)

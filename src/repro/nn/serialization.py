@@ -23,6 +23,7 @@ import numpy as np
 __all__ = [
     "save_checkpoint",
     "load_checkpoint",
+    "load_weights_dict",
     "checksum_file",
     "capture_rng_state",
     "restore_rng_state",
@@ -153,17 +154,8 @@ def save_checkpoint(
     return checksum_file(final)
 
 
-def load_checkpoint(model, path, expected_sha256: Optional[str] = None) -> dict:
-    """Restore weights + optimizer state in place; returns the metadata.
-
-    Validates that the checkpoint's parameter set matches the model —
-    resuming into a different architecture fails loudly. When
-    ``expected_sha256`` is given, the file's bytes are checksummed
-    *before* parsing and a mismatch (corruption, truncation, a foreign
-    file under the right name) raises :class:`CheckpointError` without
-    touching the model.
-    """
-    model._require_compiled()
+def _read_arrays(path, expected_sha256: Optional[str]) -> tuple[dict, dict]:
+    """Checksum, parse, and meta-validate a checkpoint; ``(arrays, meta)``."""
     if expected_sha256 is not None:
         try:
             actual = checksum_file(path)
@@ -188,6 +180,40 @@ def load_checkpoint(model, path, expected_sha256: Optional[str] = None) -> dict:
         raise CheckpointError(
             f"checkpoint version {meta.get('version')} != {_FORMAT_VERSION}"
         )
+    return arrays, meta
+
+
+def load_weights_dict(path, expected_sha256: Optional[str] = None) -> tuple[dict, dict]:
+    """Read a checkpoint's parameters without touching any model.
+
+    Returns ``(weights, meta)`` where ``weights`` maps parameter name to
+    array. This is the model-free half of :func:`load_checkpoint`: the
+    serving hot-swap stages a checkpoint's weights into a fresh slab
+    *next to* the live model and swaps atomically, so it must be able to
+    read (and checksum-verify) a version without an instance to restore
+    into. Optimizer state is ignored — inference has none.
+    """
+    arrays, meta = _read_arrays(path, expected_sha256)
+    weights = {
+        key[len("param::"):]: arrays[key]
+        for key in arrays
+        if key.startswith("param::")
+    }
+    return weights, meta
+
+
+def load_checkpoint(model, path, expected_sha256: Optional[str] = None) -> dict:
+    """Restore weights + optimizer state in place; returns the metadata.
+
+    Validates that the checkpoint's parameter set matches the model —
+    resuming into a different architecture fails loudly. When
+    ``expected_sha256`` is given, the file's bytes are checksummed
+    *before* parsing and a mismatch (corruption, truncation, a foreign
+    file under the right name) raises :class:`CheckpointError` without
+    touching the model.
+    """
+    model._require_compiled()
+    arrays, meta = _read_arrays(path, expected_sha256)
 
     params = model.named_parameters()
     saved_names = {k[len("param::"):] for k in arrays if k.startswith("param::")}

@@ -19,9 +19,19 @@ This package implements that baseline so the comparison is executable:
   all workers, so per-step time scales with worker count instead of
   staying near-constant like a ring allreduce: the scaling argument
   for Horovod, made quantitative.
+- :class:`RpcChannel` — the typed request/reply envelope protocol the
+  push/pull traffic rides on, factored out so other client/server
+  subsystems (the :mod:`repro.serve` front-end ↔ replica plane) speak
+  the same wire format.
 """
 
 from repro.ps.costmodel import PsCostModel
+from repro.ps.rpc import RpcChannel, RpcMessage
 from repro.ps.server import run_parameter_server_training
 
-__all__ = ["run_parameter_server_training", "PsCostModel"]
+__all__ = [
+    "run_parameter_server_training",
+    "PsCostModel",
+    "RpcChannel",
+    "RpcMessage",
+]

@@ -1,0 +1,245 @@
+"""Dynamic batching: assemble inference batches under a latency deadline.
+
+The serving front-end's core data structure. Arrivals enter a bounded
+admission queue (policy per :data:`repro.serve.ADMISSION_POLICIES`);
+the batcher drains them into batches that flush when either
+
+- the assembled batch reaches ``max_batch`` rows, or
+- the *oldest* queued request has spent its assembly budget
+  (``deadline_ms * assemble_fraction``) waiting — whichever comes
+  first.
+
+This is the classic server-side batching trade: a bigger batch
+amortizes fixed per-batch cost (better throughput), but every queued
+row pays the wait (worse latency), so the deadline bounds how much
+throughput is bought with any single request's time. A request larger
+than ``max_batch`` on its own flushes alone — splitting it would not
+reduce its latency, and holding it can never fill a batch.
+
+The clock is injectable so tests can step time deterministically
+through deadline-expiry paths.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional
+
+import numpy as np
+
+from repro.serve.options import ServeOptions
+
+__all__ = ["Request", "Batch", "ResponseFuture", "DynamicBatcher"]
+
+
+class ResponseFuture:
+    """Completion handle for one request (set once by the collector)."""
+
+    __slots__ = ("_event", "_value")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._value = None
+
+    def set(self, value) -> None:
+        self._value = value
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None):
+        """Block for the response; None when the timeout expires."""
+        if not self._event.wait(timeout):
+            return None
+        return self._value
+
+
+@dataclass
+class Request:
+    """One admitted inference request: rows of features plus timing."""
+
+    req_id: int
+    features: np.ndarray
+    arrival_s: float
+    deadline_s: float
+    future: ResponseFuture = field(default_factory=ResponseFuture)
+
+    @property
+    def rows(self) -> int:
+        return int(len(self.features))
+
+
+@dataclass
+class Batch:
+    """Requests assembled for one replica dispatch."""
+
+    requests: List[Request]
+    features: np.ndarray
+    assembled_s: float
+
+    @property
+    def rows(self) -> int:
+        return int(len(self.features))
+
+    def slices(self) -> Iterator[tuple[Request, slice]]:
+        """Yield ``(request, row_slice)`` to scatter results back."""
+        start = 0
+        for req in self.requests:
+            yield req, slice(start, start + req.rows)
+            start += req.rows
+
+
+class DynamicBatcher:
+    """Bounded admission queue + deadline-aware batch assembly.
+
+    ``offer`` is called by submitter threads; ``poll``/``next_batch``
+    by the dispatcher. All state is guarded by one condition variable.
+    """
+
+    def __init__(
+        self, options: ServeOptions, clock: Callable[[], float] = time.monotonic
+    ):
+        self.options = options
+        self.clock = clock
+        self._cond = threading.Condition()
+        self._queue: collections.deque[Request] = collections.deque()
+        self._closed = False
+        #: admission outcome counters (read under the lock or after close)
+        self.accepted = 0
+        self.rejected = 0
+        self.shed = 0
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    def close(self) -> None:
+        """No further arrivals; wakes any blocked submitter/dispatcher."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    # -- admission ----------------------------------------------------------
+    def offer(
+        self, request: Request, timeout: Optional[float] = None
+    ) -> tuple[str, List[Request]]:
+        """Admit one request under the configured policy.
+
+        Returns ``(outcome, displaced)`` where outcome is "accepted",
+        "rejected", or "shed" (accepted by displacing the oldest queued
+        request, returned in ``displaced`` so the caller can answer it).
+        Under "block" a full queue makes this call wait for space —
+        backpressure all the way to the submitter.
+        """
+        with self._cond:
+            if self._closed:
+                self.rejected += 1
+                return "rejected", []
+            if len(self._queue) >= self.options.queue_depth:
+                policy = self.options.admission
+                if policy == "reject":
+                    self.rejected += 1
+                    return "rejected", []
+                if policy == "shed_oldest":
+                    displaced = self._queue.popleft()
+                    self._queue.append(request)
+                    self.accepted += 1
+                    self.shed += 1
+                    self._cond.notify_all()
+                    return "shed", [displaced]
+                # block: wait for the dispatcher to make room
+                deadline = None if timeout is None else self.clock() + timeout
+                while len(self._queue) >= self.options.queue_depth:
+                    if self._closed:
+                        self.rejected += 1
+                        return "rejected", []
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - self.clock()
+                        if remaining <= 0:
+                            self.rejected += 1
+                            return "rejected", []
+                    self._cond.wait(remaining if remaining is not None else 0.05)
+            self._queue.append(request)
+            self.accepted += 1
+            self._cond.notify_all()
+            return "accepted", []
+
+    # -- assembly -----------------------------------------------------------
+    def _flush_ready(self) -> bool:
+        """Lock held: is a batch flush-worthy *right now*?"""
+        if not self._queue:
+            return False
+        if self._closed:
+            return True
+        rows = 0
+        for req in self._queue:
+            rows += req.rows
+            if rows >= self.options.max_batch:
+                return True
+        oldest = self._queue[0]
+        return self.clock() >= oldest.arrival_s + self.options.assemble_budget_s
+
+    def _assemble(self) -> Batch:
+        """Lock held, queue non-empty: pop one batch's worth of requests."""
+        taken: List[Request] = [self._queue.popleft()]
+        rows = taken[0].rows
+        while self._queue and rows + self._queue[0].rows <= self.options.max_batch:
+            req = self._queue.popleft()
+            taken.append(req)
+            rows += req.rows
+        self._cond.notify_all()  # space freed: wake blocked submitters
+        features = (
+            taken[0].features
+            if len(taken) == 1
+            else np.concatenate([r.features for r in taken], axis=0)
+        )
+        return Batch(requests=taken, features=features, assembled_s=self.clock())
+
+    def poll(self) -> Optional[Batch]:
+        """A batch if one is flush-worthy now, else None (non-blocking).
+
+        Flush-worthy means: queued rows reach ``max_batch`` (a single
+        oversized request qualifies alone), or the oldest request's
+        assembly budget has expired (a partial batch flushes rather
+        than blow the deadline), or the batcher is closed (drain).
+        An empty queue returns None.
+        """
+        with self._cond:
+            if not self._flush_ready():
+                return None
+            return self._assemble()
+
+    def next_batch(self, timeout: Optional[float] = None) -> Optional[Batch]:
+        """Block until a batch is flush-worthy; None on timeout/empty close.
+
+        Waking points: new arrivals (may complete the batch early) and
+        the oldest request's budget expiry (forces a partial flush).
+        """
+        deadline = None if timeout is None else self.clock() + timeout
+        with self._cond:
+            while not self._flush_ready():
+                if self._closed and not self._queue:
+                    return None
+                waits = []
+                if deadline is not None:
+                    remaining = deadline - self.clock()
+                    if remaining <= 0:
+                        return None
+                    waits.append(remaining)
+                if self._queue:
+                    oldest = self._queue[0]
+                    waits.append(
+                        max(
+                            0.0,
+                            oldest.arrival_s
+                            + self.options.assemble_budget_s
+                            - self.clock(),
+                        )
+                    )
+                self._cond.wait(min(waits) if waits else 0.05)
+            return self._assemble()

@@ -57,6 +57,7 @@ from repro.sim.powercap import (
 )
 from repro.sim.report import SimRunReport, improvement_percent
 from repro.sim.runner import ScaledRunSimulator, simulate_run
+from repro.sim.servemodel import ServeModel, ServePoint
 
 __all__ = [
     "Calibration",
@@ -90,4 +91,6 @@ __all__ = [
     "ResilientSimReport",
     "ResilientRunSimulator",
     "simulate_resilient_run",
+    "ServeModel",
+    "ServePoint",
 ]

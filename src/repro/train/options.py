@@ -20,14 +20,22 @@ The old keywords keep working behind :class:`DeprecationWarning` shims
 
 from __future__ import annotations
 
-import warnings
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
 from repro.comms import CollectiveOptions
 from repro.comms.ft.options import FaultToleranceOptions
+from repro.options import (
+    UNSET,
+    FrozenOptions,
+    require_choice,
+    require_in_interval,
+    require_instance,
+    require_positive,
+    resolve_legacy,
+)
 
 __all__ = [
     "TrainOptions",
@@ -41,21 +49,8 @@ __all__ = [
 OVERLAP_PRIORITIES = ("layer", "fifo")
 
 
-class _Unset:
-    """Sentinel distinguishing "not passed" from an explicit None."""
-
-    __slots__ = ()
-
-    def __repr__(self):
-        return "<UNSET>"
-
-
-#: default for deprecated keyword parameters ("the caller said nothing")
-UNSET = _Unset()
-
-
 @dataclass(frozen=True, kw_only=True)
-class TrainOptions:
+class TrainOptions(FrozenOptions):
     """Keyword-only configuration for every training step in a run.
 
     The defaults reproduce the pre-existing behaviour exactly: arena
@@ -99,19 +94,11 @@ class TrainOptions:
             if dt.kind != "f":
                 raise ValueError(f"train dtype must be floating, got {dt}")
             object.__setattr__(self, "dtype", dt)
-        if self.collective is not None and not isinstance(
-            self.collective, CollectiveOptions
-        ):
-            raise ValueError(
-                "collective must be a CollectiveOptions or None, "
-                f"got {type(self.collective).__name__}"
-            )
+        require_instance("collective", self.collective, CollectiveOptions)
+        require_instance(
+            "fault_tolerance", self.fault_tolerance, FaultToleranceOptions
+        )
         if self.fault_tolerance is not None:
-            if not isinstance(self.fault_tolerance, FaultToleranceOptions):
-                raise ValueError(
-                    "fault_tolerance must be a FaultToleranceOptions or None, "
-                    f"got {type(self.fault_tolerance).__name__}"
-                )
             if (
                 self.collective is not None
                 and self.collective.fault_tolerance is not None
@@ -121,19 +108,11 @@ class TrainOptions:
                     "TrainOptions.fault_tolerance or "
                     "collective.fault_tolerance"
                 )
-        if self.overlap_priority not in OVERLAP_PRIORITIES:
-            raise ValueError(
-                f"unknown overlap_priority {self.overlap_priority!r}; "
-                f"known: {OVERLAP_PRIORITIES}"
-            )
-        if not 1 <= self.overlap_channels <= 16:
-            raise ValueError(
-                f"overlap_channels must be in [1, 16], got {self.overlap_channels}"
-            )
-        if self.drain_timeout_s <= 0:
-            raise ValueError(
-                f"drain_timeout_s must be positive, got {self.drain_timeout_s}"
-            )
+        require_choice(
+            "overlap_priority", self.overlap_priority, OVERLAP_PRIORITIES
+        )
+        require_in_interval("overlap_channels", self.overlap_channels, 1, 16)
+        require_positive("drain_timeout_s", self.drain_timeout_s)
         if self.overlap and not self.arena:
             raise ValueError(
                 "overlap=True requires arena=True: the scheduler reduces "
@@ -154,10 +133,6 @@ class TrainOptions:
         base = self.collective if self.collective is not None else CollectiveOptions()
         return base.evolve(fault_tolerance=self.fault_tolerance)
 
-    def evolve(self, **changes) -> "TrainOptions":
-        """A copy with the given fields replaced (frozen-friendly)."""
-        return replace(self, **changes)
-
 
 #: the step's defaults — arena storage, serialized exchange, no FT
 DEFAULT_TRAIN_OPTIONS = TrainOptions()
@@ -177,20 +152,15 @@ def resolve_train(
     passed". Any supplied legacy value warns ``DeprecationWarning``
     (naming ``caller``), is rejected when ``train=`` was also given, and
     otherwise lands on the corresponding field of a fresh TrainOptions.
+    Delegates to the family machinery in
+    :func:`repro.options.resolve_legacy`.
     """
-    supplied = {k: v for k, v in legacy.items() if v is not UNSET}
-    if supplied:
-        names = ", ".join(f"{k}=" for k in sorted(supplied))
-        warnings.warn(
-            f"{caller}: {names} is deprecated; pass train=TrainOptions(...) "
-            "instead",
-            DeprecationWarning,
-            stacklevel=stacklevel,
-        )
-        if train is not None:
-            raise TypeError(
-                f"{caller}: pass either train= or the deprecated {names}, "
-                "not both"
-            )
-        return TrainOptions(**supplied)
-    return train if train is not None else DEFAULT_TRAIN_OPTIONS
+    return resolve_legacy(
+        TrainOptions,
+        train,
+        caller=caller,
+        keyword="train",
+        default=DEFAULT_TRAIN_OPTIONS,
+        stacklevel=stacklevel + 1,
+        **legacy,
+    )

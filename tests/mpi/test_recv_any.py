@@ -1,0 +1,65 @@
+"""Communicator.recv_any: the MPI_ANY_SOURCE analog on the mailbox fabric."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpi import run_spmd
+from repro.mpi.communicator import DeadlockError
+
+
+class TestRecvAny:
+    def test_receives_from_whichever_source_posts(self):
+        def node(comm):
+            if comm.rank == 0:
+                got = {}
+                for _ in range(4):
+                    src, payload = comm.recv_any([1, 2], tag=3)
+                    got.setdefault(src, []).append(payload)
+                return got
+            comm.send(f"{comm.rank}-a", 0, tag=3)
+            comm.send(f"{comm.rank}-b", 0, tag=3)
+            return None
+
+        got = run_spmd(3, node)[0]
+        # per-pair ordering holds even though cross-source order is free
+        assert got == {1: ["1-a", "1-b"], 2: ["2-a", "2-b"]}
+
+    def test_single_source_degenerates_to_recv(self):
+        def node(comm):
+            if comm.rank == 0:
+                return comm.recv_any([1])
+            comm.send("only", 0)
+            return None
+
+        assert run_spmd(2, node)[0] == (1, "only")
+
+    def test_tag_isolation(self):
+        def node(comm):
+            if comm.rank == 0:
+                src, payload = comm.recv_any([1], tag=9)
+                assert (src, payload) == (1, "tagged")
+                return comm.recv(1, tag=0)
+            comm.send("untagged", 0, tag=0)
+            comm.send("tagged", 0, tag=9)
+            return None
+
+        assert run_spmd(2, node)[0] == "untagged"
+
+    def test_empty_sources_rejected(self):
+        def node(comm):
+            if comm.rank == 0:
+                with pytest.raises(ValueError, match="at least one source"):
+                    comm.recv_any([])
+            return None
+
+        run_spmd(2, node)
+
+    def test_timeout_raises_deadlock_error(self):
+        def node(comm):
+            if comm.rank == 0:
+                with pytest.raises(DeadlockError, match="recv_any from \\[1, 2\\]"):
+                    comm.recv_any([1, 2], tag=5, timeout=0.05)
+            return None
+
+        run_spmd(3, node)

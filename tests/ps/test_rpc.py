@@ -1,0 +1,108 @@
+"""The RpcChannel request/reply plane over the SPMD mailbox fabric."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpi import run_spmd
+from repro.mpi.communicator import DeadlockError
+from repro.ps import RpcChannel, RpcMessage
+
+
+class TestEnvelope:
+    def test_reply_matching(self):
+        msg = RpcMessage(kind="result", seq=7, sender=1)
+        assert msg.is_reply_to(7)
+        assert not msg.is_reply_to(8)
+
+
+class TestCall:
+    def test_synchronous_round_trip(self):
+        def node(comm):
+            rpc = RpcChannel(comm)
+            if comm.rank == 0:
+                return rpc.call(1, "square", 12)
+            msg = rpc.recv(0)
+            assert msg.kind == "square"
+            rpc.reply(0, msg, "result", msg.payload ** 2)
+            return None
+
+        results = run_spmd(2, node)
+        assert results[0] == 144
+
+    def test_out_of_order_reply_detected(self):
+        def node(comm):
+            rpc = RpcChannel(comm)
+            if comm.rank == 0:
+                rpc.post(1, "warmup")  # burn seq 0 so call() expects seq 1
+                try:
+                    rpc.call(1, "ping")
+                except RuntimeError as exc:
+                    return str(exc)
+                return "no error"
+            rpc.recv(0)
+            rpc.recv(0)
+            # answer with a *fresh* post (its own seq 0) instead of a
+            # reply echoing the request's seq: the caller must notice
+            rpc.post(0, "result")
+            return None
+
+        results = run_spmd(2, node)
+        assert "rpc reply out of order" in results[0]
+
+
+class TestPipelining:
+    def test_posts_match_replies_by_seq(self):
+        def node(comm):
+            rpc = RpcChannel(comm)
+            if comm.rank == 0:
+                seqs = [rpc.post(1, "work", i) for i in range(3)]
+                replies = [rpc.recv(1) for _ in range(3)]
+                assert [r.seq for r in replies] == seqs
+                return [r.payload for r in replies]
+            for _ in range(3):
+                msg = rpc.recv(0)
+                rpc.reply(0, msg, "done", msg.payload * 10)
+            return None
+
+        assert run_spmd(2, node)[0] == [0, 10, 20]
+
+    def test_recv_any_across_replicas(self):
+        def node(comm):
+            rpc = RpcChannel(comm)
+            if comm.rank == 0:
+                seen = {}
+                for _ in range(2):
+                    src, msg = rpc.recv_any([1, 2])
+                    seen[src] = msg.payload
+                return seen
+            rpc.post(0, "hello", comm.rank * 100)
+            return None
+
+        assert run_spmd(3, node)[0] == {1: 100, 2: 200}
+
+    def test_recv_any_timeout(self):
+        def node(comm):
+            rpc = RpcChannel(comm)
+            if comm.rank == 0:
+                with pytest.raises(DeadlockError, match="recv_any"):
+                    rpc.recv_any([1], timeout=0.05)
+            return None
+
+        run_spmd(2, node)
+
+
+class TestHygiene:
+    def test_non_rpc_payload_on_rpc_tag_rejected(self):
+        from repro.ps.rpc import RPC_TAG
+
+        def node(comm):
+            if comm.rank == 0:
+                comm.send({"raw": True}, 1, tag=RPC_TAG)
+                return None
+            rpc = RpcChannel(comm)
+            with pytest.raises(TypeError, match="non-RPC payload"):
+                rpc.recv(0)
+            return None
+
+        run_spmd(2, node)

@@ -1,0 +1,1 @@
+"""Tests for the repro.serve inference-serving subsystem."""

@@ -1,0 +1,202 @@
+"""DynamicBatcher: flush triggers, admission policies, drain semantics.
+
+Timing-dependent paths run on a hand-stepped fake clock — a deadline
+expiry here is ``clock.advance(...)``, not a sleep — so every edge
+(empty queue, oversized request, expiry mid-assembly) is deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import DynamicBatcher, Request, ServeOptions
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def make_request(req_id: int, rows: int, clock: FakeClock) -> Request:
+    return Request(
+        req_id=req_id,
+        features=np.full((rows, 3), float(req_id)),
+        arrival_s=clock(),
+        deadline_s=clock() + 1.0,
+    )
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+def make_batcher(clock, **overrides) -> DynamicBatcher:
+    defaults = dict(max_batch=8, deadline_ms=100.0, assemble_fraction=0.5,
+                    queue_depth=4)
+    defaults.update(overrides)
+    return DynamicBatcher(ServeOptions(**defaults), clock=clock)
+
+
+class TestFlushTriggers:
+    def test_empty_queue_polls_none(self, clock):
+        assert make_batcher(clock).poll() is None
+
+    def test_fresh_partial_batch_is_held(self, clock):
+        batcher = make_batcher(clock)
+        batcher.offer(make_request(0, rows=2, clock=clock))
+        assert batcher.poll() is None  # budget not spent, batch not full
+
+    def test_full_batch_flushes_immediately(self, clock):
+        batcher = make_batcher(clock)
+        for i in range(4):
+            batcher.offer(make_request(i, rows=2, clock=clock))
+        batch = batcher.poll()
+        assert batch is not None and batch.rows == 8
+        assert [r.req_id for r in batch.requests] == [0, 1, 2, 3]
+        assert len(batcher) == 0
+
+    def test_oversized_request_flushes_alone(self, clock):
+        batcher = make_batcher(clock)  # max_batch=8
+        batcher.offer(make_request(0, rows=13, clock=clock))
+        batch = batcher.poll()
+        assert batch is not None and batch.rows == 13
+        assert len(batch.requests) == 1
+
+    def test_deadline_expiry_flushes_partial(self, clock):
+        # assemble budget = 100ms * 0.5 = 50ms
+        batcher = make_batcher(clock)
+        batcher.offer(make_request(0, rows=2, clock=clock))
+        clock.advance(0.049)
+        assert batcher.poll() is None
+        clock.advance(0.002)  # oldest is now past its budget
+        batch = batcher.poll()
+        assert batch is not None and batch.rows == 2
+
+    def test_expiry_mid_assembly_takes_later_arrivals_too(self, clock):
+        batcher = make_batcher(clock)
+        batcher.offer(make_request(0, rows=2, clock=clock))
+        clock.advance(0.04)
+        batcher.offer(make_request(1, rows=3, clock=clock))  # fresh
+        clock.advance(0.02)  # only request 0 has expired
+        batch = batcher.poll()
+        assert batch is not None
+        # the flush drains everything that still fits under max_batch
+        assert [r.req_id for r in batch.requests] == [0, 1]
+        assert batch.rows == 5
+
+    def test_flush_respects_max_batch_boundary(self, clock):
+        batcher = make_batcher(clock, max_batch=4)
+        for i in range(3):
+            batcher.offer(make_request(i, rows=3, clock=clock))
+        batch = batcher.poll()
+        assert [r.req_id for r in batch.requests] == [0]  # 3+3 > 4
+        assert len(batcher) == 2
+
+    def test_batch_features_concatenate_in_order(self, clock):
+        batcher = make_batcher(clock, max_batch=4)
+        batcher.offer(make_request(7, rows=2, clock=clock))
+        batcher.offer(make_request(8, rows=2, clock=clock))
+        batch = batcher.poll()
+        assert batch.features.shape == (4, 3)
+        np.testing.assert_array_equal(batch.features[:2], 7.0)
+        np.testing.assert_array_equal(batch.features[2:], 8.0)
+        slices = dict(
+            (req.req_id, row_slice) for req, row_slice in batch.slices()
+        )
+        assert slices == {7: slice(0, 2), 8: slice(2, 4)}
+
+
+class TestAdmission:
+    def fill(self, batcher, clock, n):
+        for i in range(n):
+            outcome, displaced = batcher.offer(make_request(i, rows=1, clock=clock))
+            assert outcome == "accepted" and displaced == []
+
+    def test_reject_policy(self, clock):
+        batcher = make_batcher(clock, admission="reject", queue_depth=2)
+        self.fill(batcher, clock, 2)
+        outcome, displaced = batcher.offer(make_request(9, rows=1, clock=clock))
+        assert (outcome, displaced) == ("rejected", [])
+        assert (batcher.accepted, batcher.rejected, batcher.shed) == (2, 1, 0)
+
+    def test_shed_oldest_policy(self, clock):
+        batcher = make_batcher(clock, admission="shed_oldest", queue_depth=2)
+        self.fill(batcher, clock, 2)
+        outcome, displaced = batcher.offer(make_request(9, rows=1, clock=clock))
+        assert outcome == "shed"
+        assert [r.req_id for r in displaced] == [0]  # stalest goes first
+        assert (batcher.accepted, batcher.shed) == (3, 1)
+        clock.advance(1.0)
+        batch = batcher.poll()
+        assert [r.req_id for r in batch.requests] == [1, 9]
+
+    def test_block_policy_times_out(self):
+        # block needs the real clock: the wait is a condition timeout
+        batcher = DynamicBatcher(
+            ServeOptions(admission="block", queue_depth=1, max_batch=8)
+        )
+        batcher.offer(make_request(0, rows=1, clock=FakeClock()))
+        outcome, _ = batcher.offer(
+            make_request(1, rows=1, clock=FakeClock()), timeout=0.05
+        )
+        assert outcome == "rejected"
+
+    def test_block_policy_admits_when_space_frees(self):
+        batcher = DynamicBatcher(
+            ServeOptions(admission="block", queue_depth=1, max_batch=1)
+        )
+        batcher.offer(make_request(0, rows=1, clock=FakeClock()))
+        import threading
+
+        def drain():
+            batcher.poll()  # frees the slot (max_batch=1 → flush-ready)
+
+        t = threading.Timer(0.02, drain)
+        t.start()
+        outcome, _ = batcher.offer(
+            make_request(1, rows=1, clock=FakeClock()), timeout=5.0
+        )
+        t.join()
+        assert outcome == "accepted"
+
+
+class TestCloseAndDrain:
+    def test_offer_after_close_rejected(self, clock):
+        batcher = make_batcher(clock)
+        batcher.close()
+        outcome, _ = batcher.offer(make_request(0, rows=1, clock=clock))
+        assert outcome == "rejected"
+
+    def test_close_makes_partial_flush_worthy(self, clock):
+        batcher = make_batcher(clock)
+        batcher.offer(make_request(0, rows=1, clock=clock))
+        assert batcher.poll() is None
+        batcher.close()
+        batch = batcher.poll()
+        assert batch is not None and batch.rows == 1
+
+    def test_next_batch_returns_none_on_closed_empty(self, clock):
+        batcher = make_batcher(clock)
+        batcher.close()
+        assert batcher.next_batch(timeout=0.01) is None
+
+    def test_next_batch_blocking_delivers(self):
+        batcher = DynamicBatcher(ServeOptions(max_batch=2, deadline_ms=50.0))
+        import threading
+
+        def submit():
+            fake = FakeClock()
+            batcher.offer(make_request(0, rows=1, clock=fake))
+            batcher.offer(make_request(1, rows=1, clock=fake))
+
+        threading.Timer(0.02, submit).start()
+        batch = batcher.next_batch(timeout=5.0)
+        assert batch is not None and batch.rows == 2

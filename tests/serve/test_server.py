@@ -1,0 +1,214 @@
+"""End-to-end serving runs: dispatch, SLO accounting, hot-swap identity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Sequential
+from repro.nn.layers import Dense
+from repro.serve import (
+    ClosedWorkload,
+    OpenWorkload,
+    ServeOptions,
+    SwapPlan,
+    install_weights,
+    request_features,
+    serve_workload,
+)
+
+FEATURES = 6
+
+
+def build_model() -> Sequential:
+    model = Sequential()
+    model.add(Dense(8, activation="relu"))
+    model.add(Dense(3))
+    model.build((FEATURES,), seed=5)
+    return model
+
+
+@pytest.fixture(scope="module")
+def pool() -> np.ndarray:
+    return np.random.default_rng(0).normal(size=(64, FEATURES))
+
+
+@pytest.fixture(scope="module")
+def weights() -> dict:
+    return {k: v.copy() for k, v in build_model().named_parameters().items()}
+
+
+def serve_opts(**overrides) -> ServeOptions:
+    defaults = dict(max_batch=8, deadline_ms=500.0, replicas=2, queue_depth=64)
+    defaults.update(overrides)
+    return ServeOptions(**defaults)
+
+
+class TestRequestFeatures:
+    def test_deterministic_assignment(self, pool):
+        a = request_features(pool, 3, 4)
+        np.testing.assert_array_equal(a, pool[12:16])
+        np.testing.assert_array_equal(a, request_features(pool, 3, 4))
+
+    def test_wraparound(self, pool):
+        got = request_features(pool, 21, 3)  # starts at 63, wraps
+        np.testing.assert_array_equal(
+            got, np.concatenate([pool[63:64], pool[:2]], axis=0)
+        )
+
+    def test_oversized_request_rejected(self, pool):
+        with pytest.raises(ValueError, match="exceed pool size"):
+            request_features(pool, 0, len(pool) + 1)
+
+
+class TestInstallWeights:
+    def test_installs_bitwise(self, weights):
+        model = build_model()
+        perturbed = {k: v + 1.0 for k, v in weights.items()}
+        install_weights(model, perturbed)
+        for name, param in model.named_parameters().items():
+            np.testing.assert_array_equal(param, perturbed[name])
+
+    def test_name_mismatch_raises(self, weights):
+        model = build_model()
+        bad = dict(weights)
+        bad["ghost"] = np.zeros(3)
+        with pytest.raises(ValueError, match="weight set mismatch"):
+            install_weights(model, bad)
+
+    def test_shape_mismatch_raises(self, weights):
+        model = build_model()
+        bad = {k: (v if i else v.reshape(-1)[: v.size - 1]) for i, (k, v) in enumerate(sorted(weights.items()))}
+        with pytest.raises(ValueError, match="mismatch"):
+            install_weights(model, bad)
+
+
+class TestSwapPlan:
+    def test_validation(self, weights):
+        with pytest.raises(ValueError, match="after_requests must be non-negative"):
+            SwapPlan(version="v1", weights=weights, after_requests=-1)
+        with pytest.raises(ValueError, match="weights must be non-empty"):
+            SwapPlan(version="v1", weights={}, after_requests=0)
+
+
+class TestClosedWorkloadServing:
+    def test_all_requests_answered(self, pool, weights):
+        workload = ClosedWorkload(clients=3, requests_per_client=4)
+        report = serve_workload(
+            build_model, workload, pool, serve_opts(), initial_weights=weights
+        )
+        slo = report.slo
+        assert slo.requests == workload.total_requests
+        assert slo.rejected == 0 and slo.shed == 0
+        assert slo.rows == workload.total_requests  # 1 row each
+        assert report.batches >= 1
+        assert sum(report.per_replica_batches.values()) == report.batches
+        assert report.versions == ["v0"]
+        assert report.swaps == 0
+        assert slo.p50_ms <= slo.p99_ms <= slo.max_ms + 1e-9
+
+    def test_predictions_match_reference(self, pool, weights):
+        workload = ClosedWorkload(clients=2, requests_per_client=3,
+                                  rows_per_request=2)
+        report = serve_workload(
+            build_model, workload, pool, serve_opts(),
+            initial_weights=weights, keep_responses=True,
+        )
+        ref = build_model()
+        install_weights(ref, weights)
+        # replay each dispatched batch exactly as the replica saw it
+        for version, req_ids in report.batch_log:
+            feats = np.concatenate(
+                [request_features(pool, rid, 2) for rid in req_ids], axis=0
+            )
+            expected = ref._forward(feats, training=False)
+            start = 0
+            for rid in req_ids:
+                got_version, got = report.responses[rid]
+                assert got_version == version == "v0"
+                np.testing.assert_array_equal(got, expected[start:start + 2])
+                start += 2
+
+
+class TestOpenWorkloadServing:
+    def test_arrivals_conserved_under_reject(self, pool, weights):
+        arrivals = np.linspace(0.0, 0.2, 60)
+        workload = OpenWorkload(arrivals=arrivals)
+        report = serve_workload(
+            build_model, workload, pool,
+            serve_opts(queue_depth=2, admission="reject", deadline_ms=2000.0),
+            initial_weights=weights,
+        )
+        slo = report.slo
+        assert slo.requests + slo.rejected + slo.shed == len(arrivals)
+        assert slo.requests >= 1
+
+    def test_shed_oldest_counts(self, pool, weights):
+        arrivals = np.zeros(40)  # everything at once: queue must overflow
+        workload = OpenWorkload(arrivals=arrivals)
+        report = serve_workload(
+            build_model, workload, pool,
+            serve_opts(queue_depth=4, admission="shed_oldest",
+                       deadline_ms=2000.0),
+            initial_weights=weights,
+        )
+        slo = report.slo
+        assert slo.requests + slo.rejected + slo.shed == len(arrivals)
+        assert slo.shed >= 1
+
+
+class TestHotSwap:
+    def test_swap_is_bitwise_attributable(self, pool, weights):
+        w1 = {k: v + 0.25 for k, v in weights.items()}
+        arrivals = np.linspace(0.0, 0.4, 30)
+        report = serve_workload(
+            build_model,
+            OpenWorkload(arrivals=arrivals, rows_per_request=2),
+            pool,
+            serve_opts(),
+            initial_weights=weights,
+            swaps=[SwapPlan(version="v1", weights=w1, after_requests=10)],
+            keep_responses=True,
+        )
+        assert report.swaps == 1
+        assert report.versions == ["v0", "v1"]
+        versions = {"v0": weights, "v1": w1}
+        served_under = {"v0": 0, "v1": 0}
+        ref = build_model()
+        for version, req_ids in report.batch_log:
+            install_weights(ref, versions[version])
+            feats = np.concatenate(
+                [request_features(pool, rid, 2) for rid in req_ids], axis=0
+            )
+            expected = ref._forward(feats, training=False)
+            start = 0
+            for rid in req_ids:
+                got_version, got = report.responses[rid]
+                assert got_version == version
+                np.testing.assert_array_equal(got, expected[start:start + 2])
+                served_under[version] += 1
+                start += 2
+        assert sum(served_under.values()) == len(arrivals)
+
+    def test_unreached_swap_still_ships_at_end(self, pool, weights):
+        w1 = {k: v * 2.0 for k, v in weights.items()}
+        workload = ClosedWorkload(clients=1, requests_per_client=3)
+        report = serve_workload(
+            build_model, workload, pool, serve_opts(),
+            initial_weights=weights,
+            swaps=[SwapPlan(version="v1", weights=w1, after_requests=10**6)],
+        )
+        assert report.swaps == 1
+        assert report.versions == ["v0", "v1"]
+
+
+class TestEntryPointValidation:
+    def test_pool_must_be_2d(self, weights):
+        with pytest.raises(ValueError, match="at least 2-D"):
+            serve_workload(
+                build_model,
+                ClosedWorkload(clients=1, requests_per_client=1),
+                np.zeros(8),
+                serve_opts(),
+                initial_weights=weights,
+            )

@@ -1,0 +1,106 @@
+"""ServeModel: the analytic serving frontier and its invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.candle import get_benchmark
+from repro.cluster.machine import SUMMIT, get_machine
+from repro.serve import ServeOptions
+from repro.sim import ServeModel
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return get_benchmark("nt3").spec
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ServeModel(SUMMIT)
+
+
+def wide_options(**overrides) -> ServeOptions:
+    defaults = dict(max_batch=64, deadline_ms=1000.0, replicas=2,
+                    assemble_fraction=0.2)
+    defaults.update(overrides)
+    return ServeOptions(**defaults)
+
+
+class TestBuildingBlocks:
+    def test_rows_per_request_validated(self):
+        with pytest.raises(ValueError, match="rows_per_request must be positive"):
+            ServeModel(SUMMIT, rows_per_request=0)
+
+    def test_batch_service_grows_sublinearly(self, model, spec):
+        one = model.batch_service_s(spec, 1)
+        many = model.batch_service_s(spec, 64)
+        assert one < many < 64 * one  # amortized fixed cost: the whole point
+
+    def test_batch_service_rejects_empty(self, model, spec):
+        with pytest.raises(ValueError, match="rows must be positive"):
+            model.batch_service_s(spec, 0)
+
+    def test_expected_batch_rows_scales_with_load(self, model, spec):
+        opts = wide_options()
+        idle = model.expected_batch_rows(spec, opts, 0.0)
+        busy = model.expected_batch_rows(spec, opts, 200.0)
+        flood = model.expected_batch_rows(spec, opts, 1e9)
+        assert idle == 1.0  # lone requests serve as singletons
+        assert idle < busy <= opts.max_batch
+        assert flood == opts.max_batch  # capped
+
+    def test_expected_batch_rows_rejects_negative_qps(self, model, spec):
+        with pytest.raises(ValueError, match="qps must be non-negative"):
+            model.expected_batch_rows(spec, wide_options(), -1.0)
+
+
+class TestOperatingPoints:
+    def test_point_fields_are_consistent(self, model, spec):
+        point = model.point(spec, wide_options(), 50.0)
+        assert point.p50_ms <= point.p99_ms
+        assert 0 < point.utilization < 1
+        assert not point.saturated
+        as_dict = point.as_dict()
+        assert as_dict["qps"] == 50.0
+        assert all(
+            isinstance(v, (bool, float)) for v in as_dict.values()
+        )  # JSON-safe scalars
+
+    def test_utilization_monotone_in_load_until_saturation(self, model, spec):
+        opts = wide_options()
+        cap = model.capacity_rows_per_s(spec, opts, 0.0)
+        flood = model.point(spec, opts, 100.0 * cap)
+        assert flood.saturated
+        assert flood.p99_ms == float("inf")
+
+    def test_frontier_default_grid(self, model, spec):
+        points = model.frontier(spec, wide_options())
+        assert len(points) == 17
+        qps = [p.qps for p in points]
+        assert qps == sorted(qps)
+        assert points[-1].utilization > points[0].utilization
+
+
+class TestPlanning:
+    def test_max_qps_within_deadline(self, model, spec):
+        opts = wide_options()
+        limit = model.max_qps_within(spec, opts)
+        assert limit > 0
+        assert model.point(spec, opts, limit * 0.99).p99_ms <= opts.deadline_ms
+        assert model.point(spec, opts, limit * 1.2).p99_ms > opts.deadline_ms
+
+    def test_impossible_deadline_is_zero(self, model, spec):
+        assert model.max_qps_within(spec, wide_options(), p99_limit_ms=1e-6) == 0.0
+
+    def test_batching_speedup_exceeds_one(self, model, spec):
+        # overhead-dominated CANDLE steps: amortization is worth multiples
+        assert model.batching_speedup(spec, wide_options()) > 3.0
+
+    def test_theta_gains_less_than_summit(self, model, spec):
+        # Theta's NT3 forward is compute-dominated per row, Summit's is
+        # overhead-dominated — batching amortizes overhead, so the GPU
+        # machine must show the (much) larger modeled speedup
+        theta = ServeModel(get_machine("theta"))
+        theta_speedup = theta.batching_speedup(spec, wide_options())
+        assert 0 < theta_speedup < model.batching_speedup(spec, wide_options())

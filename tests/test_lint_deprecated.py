@@ -1,0 +1,78 @@
+"""Grep-lint: deprecated call forms must not reappear inside src/.
+
+The tier-1 suite already runs with ``-W error::DeprecationWarning``, but
+that only catches deprecated paths a test happens to *execute*. This
+test textually scans the source tree for the known legacy spellings so
+a dormant call site (an untested branch, an example block) fails CI the
+day it is written, not the day it first runs.
+
+Each pattern lists the files allowed to contain it — the shim
+definitions themselves (and their docs/warning strings).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+#: (pattern, allowed relative paths) — a match anywhere else is a failure
+DEPRECATED_FORMS = [
+    # repro.core.dataloading shims: new code goes through repro.ingest
+    (re.compile(r"\bload_csv_timed\("), {"repro/core/dataloading.py"}),
+    (re.compile(r"\bread_csv_partitioned\("), {"repro/frame/dask_like.py"}),
+    (
+        re.compile(r"\bdataloading\.load_benchmark_data\("),
+        {"repro/core/dataloading.py"},
+    ),
+    # pre-TrainOptions keywords on the distributed optimizer (the shim
+    # file may spell them inside its own warning strings)
+    (
+        re.compile(r"DistributedOptimizer\(\s*[^)]*\bfusion_bytes\s*="),
+        {"repro/hvd/optimizer.py"},
+    ),
+    (
+        re.compile(r"DistributedOptimizer\(\s*[^)]*\boptions\s*="),
+        {"repro/hvd/optimizer.py"},
+    ),
+    # pre-TrainOptions keywords at benchmark model-builder *call sites*
+    # (the `def build_model(..., arena=None, dtype=...)` shim signatures
+    # themselves are what the lookbehind exempts)
+    (re.compile(r"(?<!def )\bbuild_model\(\s*[^)]*\b(?:arena|dtype)\s*="), set()),
+    # per-call legacy keywords folded into TrainOptions by resolve_train
+    (re.compile(r"\.fit\([^)]*\bcollective\s*=", re.DOTALL), set()),
+]
+
+
+def source_files():
+    return sorted(SRC.rglob("*.py"))
+
+
+def test_source_tree_exists_and_is_nonempty():
+    files = source_files()
+    assert len(files) > 50, "src/ scan found suspiciously few files"
+
+
+@pytest.mark.parametrize(
+    "pattern, allowed",
+    DEPRECATED_FORMS,
+    ids=[p.pattern[:40] for p, _ in DEPRECATED_FORMS],
+)
+def test_no_deprecated_forms_in_src(pattern, allowed):
+    offenders = []
+    for path in source_files():
+        rel = path.relative_to(SRC).as_posix()
+        if rel in allowed:
+            continue
+        text = path.read_text()
+        for match in pattern.finditer(text):
+            line = text.count("\n", 0, match.start()) + 1
+            offenders.append(f"{rel}:{line}: {match.group(0)[:60]!r}")
+    assert not offenders, (
+        "deprecated form "
+        f"{pattern.pattern!r} reappeared in src/ — migrate to the options "
+        "family instead:\n" + "\n".join(offenders)
+    )
